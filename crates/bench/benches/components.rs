@@ -1,0 +1,78 @@
+//! Component microbenchmarks: the hot paths of the simulator.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use slingshot::des::{DetRng, EventQueue, SimTime};
+use slingshot::rosetta::{Arbiter16x8, LatencyModel};
+use slingshot::routing::{AdaptiveParams, QuietView, Router, RoutingAlgorithm};
+use slingshot::topology::{shandy, SwitchId};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::with_capacity(1024);
+            for i in 0..1024u64 {
+                q.push(SimTime::from_ps(i * 37 % 5000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc = acc.wrapping_add(v);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("det_rng_below_1k", |b| {
+        let mut rng = DetRng::seed_from(1);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..1000 {
+                acc = acc.wrapping_add(rng.below(64));
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_arbiter(c: &mut Criterion) {
+    c.bench_function("arbiter_16x8_round", |b| {
+        let mut arb = Arbiter16x8::new();
+        let mut req = [None; 16];
+        for i in 0..16 {
+            req[i] = Some((i % 8) as u8);
+        }
+        b.iter(|| black_box(arb.arbitrate(&req)))
+    });
+}
+
+fn bench_latency_model(c: &mut Criterion) {
+    c.bench_function("rosetta_latency_sample", |b| {
+        let model = LatencyModel::rosetta();
+        let mut rng = DetRng::seed_from(2);
+        b.iter(|| black_box(model.sample(&mut rng, 19, 56)))
+    });
+}
+
+fn bench_routing_decision(c: &mut Criterion) {
+    let topo = shandy().build();
+    let router = Router::new(&topo, RoutingAlgorithm::Adaptive, AdaptiveParams::default());
+    let mut rng = DetRng::seed_from(3);
+    c.bench_function("adaptive_route_decide_shandy", |b| {
+        b.iter(|| {
+            let s = SwitchId(rng.below(64) as u32);
+            let d = SwitchId(rng.below(64) as u32);
+            black_box(router.decide(s, d, &QuietView, &mut rng))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_rng,
+    bench_arbiter,
+    bench_latency_model,
+    bench_routing_decision
+);
+criterion_main!(benches);

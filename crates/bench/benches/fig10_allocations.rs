@@ -1,0 +1,37 @@
+//! Fig. 10 bench: one allocation-policy comparison cell.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use slingshot::Profile;
+use slingshot_experiments::{run_cell, Cell, Victim};
+use slingshot::topology::AllocationPolicy;
+use slingshot_workloads::{Congestor, Microbench};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    for policy in AllocationPolicy::ALL {
+        let cell = Cell {
+            profile: Profile::Slingshot,
+            nodes: 32,
+            victim_nodes: 16,
+            policy,
+            aggressor: Some(Congestor::Incast),
+            aggressor_ppn: 1,
+            seed: 1,
+        };
+        g.bench_function(format!("allocation_{}", policy.label()), |b| {
+            b.iter(|| {
+                black_box(run_cell(
+                    &cell,
+                    Victim::Micro(Microbench::Allreduce, 8),
+                    3,
+                    300_000_000,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Fig. 11 bench: one full-scale-style random-allocation cell.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use slingshot::Profile;
+use slingshot_experiments::{run_cell, Cell, Victim};
+use slingshot::topology::AllocationPolicy;
+use slingshot_workloads::{Congestor, HpcApp};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    let cell = Cell {
+        profile: Profile::Slingshot,
+        nodes: 64,
+        victim_nodes: 16,
+        policy: AllocationPolicy::Random,
+        aggressor: Some(Congestor::Incast),
+        aggressor_ppn: 1,
+        seed: 11,
+    };
+    g.bench_function("lammps_75pct_incast_random", |b| {
+        b.iter(|| {
+            black_box(run_cell(&cell, Victim::App(HpcApp::Lammps), 2, 500_000_000))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

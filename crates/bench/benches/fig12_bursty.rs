@@ -1,0 +1,16 @@
+//! Fig. 12 bench: the bursty-congestion sweep at smoke scale.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use slingshot_experiments::{fig12, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    g.bench_function("bursty_sweep_tiny", |b| {
+        b.iter(|| black_box(fig12::run(Scale::Tiny)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Fig. 13 bench: traffic-class isolation timeline.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use slingshot_experiments::{fig13, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig13");
+    g.sample_size(10);
+    g.bench_function("tc_allreduce_timeline_tiny", |b| {
+        b.iter(|| black_box(fig13::run(Scale::Tiny)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Fig. 14 bench: bandwidth-guarantee timeline.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use slingshot_experiments::{fig14, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig14");
+    g.sample_size(10);
+    g.bench_function("tc_bandwidth_timeline_tiny", |b| {
+        b.iter(|| black_box(fig14::run(Scale::Tiny)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

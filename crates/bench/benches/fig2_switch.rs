@@ -1,0 +1,16 @@
+//! Fig. 2 bench: regenerating the switch-latency distribution.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use slingshot_experiments::{fig2, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2");
+    g.sample_size(10);
+    g.bench_function("switch_latency_distribution_tiny", |b| {
+        b.iter(|| black_box(fig2::run(Scale::Tiny)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

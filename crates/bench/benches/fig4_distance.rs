@@ -1,0 +1,16 @@
+//! Fig. 4 bench: latency/bandwidth vs node distance.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use slingshot_experiments::{fig4, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    g.bench_function("node_distance_sweep_tiny", |b| {
+        b.iter(|| black_box(fig4::run(Scale::Tiny)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Fig. 5 bench: software-stack latency sweep.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use slingshot_experiments::{fig5, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.bench_function("protocol_stacks_tiny", |b| {
+        b.iter(|| black_box(fig5::run(Scale::Tiny)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

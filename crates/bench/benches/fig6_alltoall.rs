@@ -1,0 +1,17 @@
+//! Fig. 6 bench: one alltoall bandwidth point on a scaled Shandy.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use slingshot_experiments::{fig6, Scale};
+use slingshot::topology::shandy_scaled;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    g.bench_function("alltoall_4KiB_2groups", |b| {
+        b.iter(|| black_box(fig6::alltoall_gbps(shandy_scaled(2), 4096, 1, Scale::Tiny)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Fig. 8 bench: Tailbench under congestion (reduced panel).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use slingshot_experiments::{fig8, Scale};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    g.bench_function("tailbench_panels_tiny", |b| {
+        b.iter(|| black_box(fig8::run(Scale::Tiny)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Fig. 9 bench: one heatmap cell pair (isolated + loaded).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use slingshot::Profile;
+use slingshot_experiments::{run_pair, Cell, Victim};
+use slingshot::topology::AllocationPolicy;
+use slingshot_workloads::{Congestor, Microbench};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    let cell = Cell {
+        profile: Profile::Slingshot,
+        nodes: 32,
+        victim_nodes: 16,
+        policy: AllocationPolicy::Interleaved,
+        aggressor: Some(Congestor::Incast),
+        aggressor_ppn: 1,
+        seed: 1,
+    };
+    g.bench_function("heatmap_cell_pingpong_incast", |b| {
+        b.iter(|| {
+            black_box(run_pair(
+                &cell,
+                Victim::Micro(Microbench::Pingpong, 8),
+                3,
+                300_000_000,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,1 @@
+//! Criterion benches for the Slingshot paper reproduction live in `benches/`.

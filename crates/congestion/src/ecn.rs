@@ -1,0 +1,223 @@
+//! ECN/DCQCN-like congestion control with a slow control loop.
+//!
+//! The paper (§II-D) argues that mark-and-react schemes such as ECN and QCN
+//! "work relatively well in presence of large volume and stable
+//! communications ... but tend to be fragile, hard to tune, and generally
+//! unsuitable for bursty HPC workloads. ... the control loop is too long to
+//! adapt fast enough". This model captures those dynamics for ablation
+//! studies: probabilistic marking, delayed rate reduction, and timer-paced
+//! multiplicative recovery.
+
+use crate::{AckFeedback, CongestionControl};
+use slingshot_des::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Tunables of the ECN-like model.
+#[derive(Clone, Copy, Debug)]
+pub struct EcnParams {
+    /// Maximum window per destination, bytes.
+    pub max_window: u64,
+    /// Minimum window, bytes.
+    pub min_window: u64,
+    /// Queue depth at which packets start being marked.
+    pub mark_threshold_bytes: u64,
+    /// Multiplicative decrease on reaction.
+    pub decrease_factor: f64,
+    /// The control-loop delay: reductions are applied only once per this
+    /// interval regardless of how many marks arrive (models CNP pacing /
+    /// rate-limiter timers).
+    pub reaction_interval: SimDuration,
+    /// Recovery timer: the window grows by `recovery_fraction` of the gap
+    /// to `max_window` each interval (DCQCN-style slow ramp).
+    pub recovery_interval: SimDuration,
+    /// Fraction of the remaining gap recovered each interval.
+    pub recovery_fraction: f64,
+}
+
+impl Default for EcnParams {
+    fn default() -> Self {
+        EcnParams {
+            max_window: 64 << 10,
+            min_window: 4 << 10,
+            mark_threshold_bytes: 128 << 10,
+            decrease_factor: 0.5,
+            reaction_interval: SimDuration::from_us(50),
+            recovery_interval: SimDuration::from_us(300),
+            recovery_fraction: 0.5,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct EcnState {
+    window: u64,
+    last_reaction: SimTime,
+    last_recovery: SimTime,
+}
+
+/// ECN/DCQCN-like congestion control (slow loop, for comparison against
+/// [`crate::SlingshotCc`]).
+#[derive(Clone, Debug)]
+pub struct EcnCc {
+    params: EcnParams,
+    flows: HashMap<u32, EcnState>,
+    throttles: u64,
+}
+
+impl EcnCc {
+    /// New instance with default parameters.
+    pub fn new() -> Self {
+        Self::with_params(EcnParams::default())
+    }
+
+    /// New instance with explicit parameters.
+    pub fn with_params(params: EcnParams) -> Self {
+        EcnCc {
+            params,
+            flows: HashMap::new(),
+            throttles: 0,
+        }
+    }
+
+    fn state(&mut self, dst: u32) -> &mut EcnState {
+        let max = self.params.max_window;
+        self.flows.entry(dst).or_insert(EcnState {
+            window: max,
+            last_reaction: SimTime::ZERO,
+            last_recovery: SimTime::ZERO,
+        })
+    }
+}
+
+impl Default for EcnCc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for EcnCc {
+    fn may_send(&mut self, dst: u32, in_flight: u64, bytes: u64, now: SimTime) -> bool {
+        // Timer-paced recovery happens on the send path (rate limiter).
+        let params = self.params;
+        let st = self.state(dst);
+        if now.saturating_since(st.last_recovery) >= params.recovery_interval
+            && st.window < params.max_window
+        {
+            let gap = params.max_window - st.window;
+            st.window += ((gap as f64) * params.recovery_fraction).ceil() as u64;
+            st.window = st.window.min(params.max_window);
+            st.last_recovery = now;
+        }
+        in_flight == 0 || in_flight + bytes <= st.window
+    }
+
+    fn on_ack(&mut self, dst: u32, feedback: AckFeedback, now: SimTime) {
+        let params = self.params;
+        let marked = feedback.ejection_queue_bytes >= params.mark_threshold_bytes;
+        let st = self.state(dst);
+        if marked && now.saturating_since(st.last_reaction) >= params.reaction_interval {
+            st.window =
+                ((st.window as f64 * params.decrease_factor) as u64).max(params.min_window);
+            st.last_reaction = now;
+            st.last_recovery = now;
+            self.throttles += 1;
+        }
+    }
+
+    fn window(&self, dst: u32) -> u64 {
+        self.flows
+            .get(&dst)
+            .map(|s| s.window)
+            .unwrap_or(self.params.max_window)
+    }
+
+    fn throttle_events(&self) -> u64 {
+        self.throttles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deep_queue() -> AckFeedback {
+        AckFeedback {
+            endpoint_congested: true,
+            ejection_queue_bytes: 1 << 20,
+        }
+    }
+
+    #[test]
+    fn marks_below_threshold_are_ignored() {
+        let mut cc = EcnCc::new();
+        let t = SimTime::from_us(100);
+        cc.on_ack(
+            1,
+            AckFeedback {
+                endpoint_congested: true,
+                ejection_queue_bytes: 1024,
+            },
+            t,
+        );
+        assert_eq!(cc.window(1), 64 << 10);
+    }
+
+    #[test]
+    fn reaction_is_rate_limited() {
+        // A burst of marked acks within one reaction interval causes a
+        // single reduction — the slow loop of the paper's critique.
+        let mut cc = EcnCc::new();
+        let t = SimTime::from_us(100);
+        for i in 0..50u64 {
+            cc.on_ack(1, deep_queue(), t + SimDuration::from_ns(i * 10));
+        }
+        assert_eq!(cc.throttle_events(), 1);
+        assert_eq!(cc.window(1), 32 << 10);
+    }
+
+    #[test]
+    fn repeated_intervals_keep_reducing() {
+        let mut cc = EcnCc::new();
+        let mut t = SimTime::from_us(100);
+        for _ in 0..5 {
+            cc.on_ack(1, deep_queue(), t);
+            t += SimDuration::from_us(60);
+        }
+        assert_eq!(cc.throttle_events(), 5);
+        assert_eq!(cc.window(1), 4 << 10); // floored at min
+    }
+
+    #[test]
+    fn recovery_is_slow() {
+        let mut cc = EcnCc::new();
+        let t0 = SimTime::from_us(100);
+        cc.on_ack(1, deep_queue(), t0);
+        let reduced = cc.window(1);
+        // Immediately after, no recovery.
+        assert!(cc.may_send(1, 0, 1, t0 + SimDuration::from_us(1)));
+        assert_eq!(cc.window(1), reduced);
+        // Recovery takes several 300 µs intervals — orders of magnitude
+        // slower than SlingshotCc's per-ack additive recovery.
+        let mut t = t0;
+        let mut intervals = 0;
+        while cc.window(1) < 63 << 10 {
+            t += SimDuration::from_us(300);
+            let _ = cc.may_send(1, 0, 1, t);
+            intervals += 1;
+            assert!(intervals < 100);
+        }
+        assert!(intervals >= 4, "recovered in {intervals} intervals");
+        assert!(
+            t.since(t0) >= SimDuration::from_ms(1),
+            "recovery faster than a millisecond"
+        );
+    }
+
+    #[test]
+    fn per_destination_isolation_still_holds() {
+        let mut cc = EcnCc::new();
+        let t = SimTime::from_us(100);
+        cc.on_ack(7, deep_queue(), t);
+        assert!(cc.window(7) < cc.window(8));
+    }
+}

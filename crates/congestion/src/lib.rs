@@ -1,0 +1,137 @@
+//! # slingshot-congestion
+//!
+//! Congestion-control algorithms (paper §II-D).
+//!
+//! Slingshot's hardware congestion control tracks every in-flight packet
+//! between every pair of endpoints. When endpoint congestion builds at a
+//! destination, only the *contributing* source→destination pairs are
+//! throttled — with stiff, fast back-pressure — while victim flows to other
+//! destinations keep their full windows. This keeps switch buffers shallow,
+//! prevents head-of-line blocking from spreading through the network (tree
+//! saturation), and reduces tail latency.
+//!
+//! Three algorithms are provided:
+//! * [`SlingshotCc`] — the per-endpoint-pair windowed scheme above;
+//! * [`NoCc`] — no endpoint congestion control (the Aries baseline);
+//! * [`EcnCc`] — an ECN/DCQCN-like scheme with a slow control loop, the
+//!   kind of algorithm the paper argues is unsuited to bursty HPC traffic.
+
+#![warn(missing_docs)]
+
+mod ecn;
+mod slingshot;
+
+pub use ecn::{EcnCc, EcnParams};
+pub use slingshot::{SlingshotCc, SlingshotCcParams};
+
+use slingshot_des::SimTime;
+
+/// Feedback carried by an end-to-end acknowledgement from the destination
+/// back to the source (measured at the last-hop/ejection queue).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AckFeedback {
+    /// Whether the destination endpoint was congested when this packet was
+    /// delivered.
+    pub endpoint_congested: bool,
+    /// Depth of the destination's ejection queue in bytes at delivery.
+    pub ejection_queue_bytes: u64,
+}
+
+impl AckFeedback {
+    /// Feedback for an uncongested delivery.
+    pub const CLEAN: AckFeedback = AckFeedback {
+        endpoint_congested: false,
+        ejection_queue_bytes: 0,
+    };
+}
+
+/// A source-side congestion-control algorithm: one instance per NIC,
+/// tracking per-destination state.
+pub trait CongestionControl {
+    /// May the source put `bytes` more in flight toward `dst`, given it
+    /// already has `in_flight` unacknowledged bytes to that destination?
+    fn may_send(&mut self, dst: u32, in_flight: u64, bytes: u64, now: SimTime) -> bool;
+
+    /// Process the feedback of one returning acknowledgement for `dst`.
+    fn on_ack(&mut self, dst: u32, feedback: AckFeedback, now: SimTime);
+
+    /// Current window (allowed in-flight bytes) toward `dst`, for
+    /// observability and tests.
+    fn window(&self, dst: u32) -> u64;
+
+    /// Total number of throttle (window-reduction) events, for statistics.
+    fn throttle_events(&self) -> u64 {
+        0
+    }
+}
+
+/// No endpoint congestion control: a fixed, effectively unlimited window.
+/// Models Aries, where adaptive routing spreads load but nothing slows an
+/// incast source down — the failure mode the paper demonstrates.
+#[derive(Clone, Debug)]
+pub struct NoCc {
+    window: u64,
+}
+
+impl NoCc {
+    /// Default Aries-like behaviour: 16 MiB static window per pair.
+    pub fn new() -> Self {
+        NoCc { window: 16 << 20 }
+    }
+
+    /// Custom static window.
+    pub fn with_window(window: u64) -> Self {
+        NoCc { window }
+    }
+}
+
+impl Default for NoCc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for NoCc {
+    fn may_send(&mut self, _dst: u32, in_flight: u64, bytes: u64, _now: SimTime) -> bool {
+        in_flight + bytes <= self.window
+    }
+
+    fn on_ack(&mut self, _dst: u32, _feedback: AckFeedback, _now: SimTime) {}
+
+    fn window(&self, _dst: u32) -> u64 {
+        self.window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nocc_never_reacts() {
+        let mut cc = NoCc::new();
+        let t = SimTime::ZERO;
+        assert!(cc.may_send(1, 0, 4096, t));
+        for _ in 0..100 {
+            cc.on_ack(
+                1,
+                AckFeedback {
+                    endpoint_congested: true,
+                    ejection_queue_bytes: 1 << 30,
+                },
+                t,
+            );
+        }
+        assert_eq!(cc.window(1), 16 << 20);
+        assert_eq!(cc.throttle_events(), 0);
+        assert!(cc.may_send(1, 0, 4096, t));
+    }
+
+    #[test]
+    fn nocc_window_still_bounds_in_flight() {
+        let mut cc = NoCc::with_window(8192);
+        let t = SimTime::ZERO;
+        assert!(cc.may_send(1, 4096, 4096, t));
+        assert!(!cc.may_send(1, 8192, 1, t));
+    }
+}

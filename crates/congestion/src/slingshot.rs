@@ -1,0 +1,243 @@
+//! Slingshot's per-endpoint-pair hardware congestion control.
+
+use crate::{AckFeedback, CongestionControl};
+use slingshot_des::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// Tunables of the Slingshot congestion-control model.
+#[derive(Clone, Copy, Debug)]
+pub struct SlingshotCcParams {
+    /// Initial/maximum window per endpoint pair, bytes. Roughly one
+    /// bandwidth-delay product (100 Gb/s × ~5 µs ≈ 64 KiB).
+    pub max_window: u64,
+    /// Floor the window can be squeezed to, bytes (one MTU keeps a trickle
+    /// flowing so the flow can probe recovery).
+    pub min_window: u64,
+    /// Multiplicative decrease applied on a congested ack ("stiff"
+    /// back-pressure).
+    pub decrease_factor: f64,
+    /// Ejection-queue depth above which the destination reports severe
+    /// congestion and the source drops straight to the minimum window.
+    pub severe_queue_bytes: u64,
+    /// Additive increase per clean ack, bytes ("fast" recovery — the
+    /// hardware loop reacts per packet, not per RTT batch).
+    pub recovery_bytes_per_ack: u64,
+    /// Hold-off after a decrease before recovery starts, so one burst of
+    /// congested acks does not immediately bounce back.
+    pub recovery_holdoff: SimDuration,
+}
+
+impl Default for SlingshotCcParams {
+    fn default() -> Self {
+        SlingshotCcParams {
+            max_window: 64 << 10,
+            min_window: 4 << 10,
+            decrease_factor: 0.5,
+            severe_queue_bytes: 256 << 10,
+            recovery_bytes_per_ack: 2 << 10,
+            recovery_holdoff: SimDuration::from_us(5),
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct PairState {
+    window: u64,
+    last_decrease: SimTime,
+}
+
+/// The Slingshot congestion-control algorithm: one window per destination
+/// endpoint; contributors to endpoint congestion are throttled stiffly and
+/// recover quickly; flows to other destinations are untouched.
+#[derive(Clone, Debug)]
+pub struct SlingshotCc {
+    params: SlingshotCcParams,
+    pairs: HashMap<u32, PairState>,
+    throttles: u64,
+}
+
+impl SlingshotCc {
+    /// New instance with default parameters.
+    pub fn new() -> Self {
+        Self::with_params(SlingshotCcParams::default())
+    }
+
+    /// New instance with explicit parameters.
+    pub fn with_params(params: SlingshotCcParams) -> Self {
+        assert!(params.min_window > 0 && params.min_window <= params.max_window);
+        assert!((0.0..1.0).contains(&params.decrease_factor));
+        SlingshotCc {
+            params,
+            pairs: HashMap::new(),
+            throttles: 0,
+        }
+    }
+
+    /// The parameters in use.
+    pub fn params(&self) -> &SlingshotCcParams {
+        &self.params
+    }
+
+    fn state(&mut self, dst: u32) -> &mut PairState {
+        let max = self.params.max_window;
+        self.pairs.entry(dst).or_insert(PairState {
+            window: max,
+            last_decrease: SimTime::ZERO,
+        })
+    }
+}
+
+impl Default for SlingshotCc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CongestionControl for SlingshotCc {
+    fn may_send(&mut self, dst: u32, in_flight: u64, bytes: u64, _now: SimTime) -> bool {
+        let w = self.state(dst).window;
+        // Always allow at least one packet in flight so the pair can probe.
+        in_flight == 0 || in_flight + bytes <= w
+    }
+
+    fn on_ack(&mut self, dst: u32, feedback: AckFeedback, now: SimTime) {
+        let params = self.params;
+        let st = self.state(dst);
+        if feedback.endpoint_congested {
+            let target = if feedback.ejection_queue_bytes >= params.severe_queue_bytes {
+                params.min_window
+            } else {
+                ((st.window as f64 * params.decrease_factor) as u64).max(params.min_window)
+            };
+            if target < st.window {
+                st.window = target;
+                st.last_decrease = now;
+                self.throttles += 1;
+            }
+        } else if now.saturating_since(st.last_decrease) >= params.recovery_holdoff {
+            st.window = (st.window + params.recovery_bytes_per_ack).min(params.max_window);
+        }
+    }
+
+    fn window(&self, dst: u32) -> u64 {
+        self.pairs
+            .get(&dst)
+            .map(|s| s.window)
+            .unwrap_or(self.params.max_window)
+    }
+
+    fn throttle_events(&self) -> u64 {
+        self.throttles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn congested(depth: u64) -> AckFeedback {
+        AckFeedback {
+            endpoint_congested: true,
+            ejection_queue_bytes: depth,
+        }
+    }
+
+    #[test]
+    fn fresh_pair_has_full_window() {
+        let cc = SlingshotCc::new();
+        assert_eq!(cc.window(42), 64 << 10);
+    }
+
+    #[test]
+    fn congested_ack_halves_window() {
+        let mut cc = SlingshotCc::new();
+        let t = SimTime::from_us(10);
+        cc.on_ack(1, congested(64 << 10), t);
+        assert_eq!(cc.window(1), 32 << 10);
+        assert_eq!(cc.throttle_events(), 1);
+    }
+
+    #[test]
+    fn severe_congestion_drops_to_minimum() {
+        let mut cc = SlingshotCc::new();
+        let t = SimTime::from_us(10);
+        cc.on_ack(1, congested(1 << 20), t);
+        assert_eq!(cc.window(1), cc.params().min_window);
+    }
+
+    #[test]
+    fn only_contributing_pair_is_throttled() {
+        // The central Slingshot property: pair (→1) congested, pair (→2)
+        // untouched.
+        let mut cc = SlingshotCc::new();
+        let t = SimTime::from_us(10);
+        cc.on_ack(1, congested(1 << 20), t);
+        assert_eq!(cc.window(1), cc.params().min_window);
+        assert_eq!(cc.window(2), cc.params().max_window);
+        assert!(cc.may_send(2, 0, 64 << 10, t));
+    }
+
+    #[test]
+    fn window_floor_never_underflows() {
+        let mut cc = SlingshotCc::new();
+        let t = SimTime::from_us(10);
+        for _ in 0..50 {
+            cc.on_ack(1, congested(1 << 20), t);
+        }
+        assert_eq!(cc.window(1), cc.params().min_window);
+    }
+
+    #[test]
+    fn recovery_after_holdoff() {
+        let mut cc = SlingshotCc::new();
+        let t0 = SimTime::from_us(10);
+        cc.on_ack(1, congested(1 << 20), t0);
+        let floor = cc.window(1);
+        // Clean acks inside the hold-off do not recover.
+        cc.on_ack(1, AckFeedback::CLEAN, t0 + SimDuration::from_us(1));
+        assert_eq!(cc.window(1), floor);
+        // After the hold-off they do.
+        let later = t0 + SimDuration::from_us(10);
+        cc.on_ack(1, AckFeedback::CLEAN, later);
+        assert!(cc.window(1) > floor);
+    }
+
+    #[test]
+    fn recovery_caps_at_max() {
+        let mut cc = SlingshotCc::new();
+        let t = SimTime::from_ms(1);
+        for i in 0..100_000u64 {
+            cc.on_ack(1, AckFeedback::CLEAN, t + SimDuration::from_ns(i));
+        }
+        assert_eq!(cc.window(1), cc.params().max_window);
+    }
+
+    #[test]
+    fn probe_packet_always_allowed() {
+        let mut cc = SlingshotCc::new();
+        let t = SimTime::from_us(10);
+        cc.on_ack(1, congested(1 << 20), t);
+        // Even squeezed, zero in-flight allows one send of any size.
+        assert!(cc.may_send(1, 0, 1 << 20, t));
+        // But a squeezed window blocks further sends.
+        assert!(!cc.may_send(1, cc.params().min_window, 4096, t));
+    }
+
+    #[test]
+    fn recovery_is_fast_relative_to_ecn_timescales() {
+        // From the floor, full recovery should take ~30 clean acks (a few
+        // µs of traffic), not milliseconds.
+        let mut cc = SlingshotCc::new();
+        let t0 = SimTime::from_us(10);
+        cc.on_ack(1, congested(1 << 20), t0);
+        let mut acks = 0;
+        let mut t = t0 + SimDuration::from_us(10);
+        while cc.window(1) < cc.params().max_window {
+            cc.on_ack(1, AckFeedback::CLEAN, t);
+            t += SimDuration::from_ns(100);
+            acks += 1;
+            assert!(acks < 1000, "recovery too slow");
+        }
+        assert!(acks <= 64, "took {acks} acks");
+    }
+}

@@ -1,0 +1,40 @@
+//! # slingshot
+//!
+//! High-level facade over the Slingshot interconnect reproduction: build a
+//! simulated system in one line, pick a hardware profile (Slingshot or the
+//! Aries baseline), and drive traffic through the packet-level simulator.
+//!
+//! The paper this library reproduces: De Sensi et al., *"An In-Depth
+//! Analysis of the Slingshot Interconnect"*, SC 2020 (arXiv:2008.08886).
+//!
+//! ```
+//! use slingshot::{Profile, System, SystemBuilder};
+//! use slingshot::topology::NodeId;
+//!
+//! let mut net = SystemBuilder::new(System::Tiny, Profile::Slingshot)
+//!     .seed(7)
+//!     .build();
+//! net.send(NodeId(0), NodeId(8), 64 << 10, 0, 0);
+//! net.run_to_quiescence(1_000_000);
+//! assert_eq!(net.stats().messages_delivered, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod builder;
+
+pub use builder::{Profile, System, SystemBuilder};
+
+// Re-export the component crates under stable names so downstream users
+// depend only on `slingshot`.
+pub use slingshot_congestion as congestion;
+pub use slingshot_des as des;
+pub use slingshot_ethernet as ethernet;
+pub use slingshot_network as network;
+pub use slingshot_qos as qos;
+pub use slingshot_rosetta as rosetta;
+pub use slingshot_routing as routing;
+pub use slingshot_stats as stats;
+pub use slingshot_topology as topology;
+
+pub use slingshot_network::{CcConfig, MessageId, Network, NetworkConfig, Notification};

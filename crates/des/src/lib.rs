@@ -1,0 +1,40 @@
+//! # slingshot-des
+//!
+//! Deterministic discrete-event simulation (DES) engine used by the
+//! Slingshot interconnect reproduction.
+//!
+//! The engine is intentionally tiny: a picosecond timeline ([`SimTime`],
+//! [`SimDuration`]), a future-event list ([`EventQueue`]) whose ties break by
+//! insertion order so runs are bit-reproducible, and a forkable seeded RNG
+//! ([`DetRng`]). The network simulator in `slingshot-network` owns its own
+//! event loop on top of these primitives.
+//!
+//! ## Example
+//!
+//! ```
+//! use slingshot_des::{EventQueue, SimDuration, SimTime};
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Ev { Ping, Pong }
+//!
+//! let mut q = EventQueue::new();
+//! q.push(SimTime::from_ns(100), Ev::Ping);
+//! while let Some((t, ev)) = q.pop() {
+//!     if ev == Ev::Ping && t < SimTime::from_us(1) {
+//!         q.push(t + SimDuration::from_ns(100), Ev::Pong);
+//!     }
+//! }
+//! assert_eq!(q.now(), SimTime::from_ns(200));
+//! ```
+
+#![warn(missing_docs)]
+
+mod queue;
+mod rng;
+mod time;
+
+pub use queue::EventQueue;
+pub use rng::DetRng;
+pub use time::{
+    serialization_time, SimDuration, SimTime, PS_PER_MS, PS_PER_NS, PS_PER_S, PS_PER_US,
+};

@@ -1,0 +1,216 @@
+//! Deterministic pending-event queue.
+//!
+//! Events fire in `(time, sequence)` order: ties on simulated time break by
+//! insertion order, which makes every run bit-reproducible for a fixed seed
+//! regardless of heap internals.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Internal heap entry. Ordered as a *min*-heap on `(time, seq)` by
+/// inverting the comparison.
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Inverted: BinaryHeap is a max-heap, we want earliest first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A future-event list: the core of the discrete-event simulator.
+///
+/// ```
+/// use slingshot_des::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_ns(20), "late");
+/// q.push(SimTime::from_ns(10), "early");
+/// assert_eq!(q.pop().unwrap().1, "early");
+/// assert_eq!(q.pop().unwrap().1, "late");
+/// assert!(q.pop().is_none());
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: SimTime,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue positioned at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// An empty queue with pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// Schedule `event` to fire at `time`.
+    ///
+    /// Scheduling in the past is a logic error; debug builds panic.
+    #[inline]
+    pub fn push(&mut self, time: SimTime, event: E) {
+        debug_assert!(
+            time >= self.now,
+            "scheduling into the past: {time:?} < now {:?}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Remove and return the earliest event, advancing [`Self::now`].
+    #[inline]
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let e = self.heap.pop()?;
+        debug_assert!(e.time >= self.now, "time went backwards");
+        self.now = e.time;
+        self.popped += 1;
+        Some((e.time, e.event))
+    }
+
+    /// Time of the earliest pending event, if any.
+    #[inline]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Current simulated time: the timestamp of the last popped event.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events processed so far.
+    #[inline]
+    pub fn events_processed(&self) -> u64 {
+        self.popped
+    }
+
+    /// Drop every pending event (the clock is not reset).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ns(30), 3);
+        q.push(SimTime::from_ns(10), 1);
+        q.push(SimTime::from_ns(20), 2);
+        assert_eq!(q.pop(), Some((SimTime::from_ns(10), 1)));
+        assert_eq!(q.pop(), Some((SimTime::from_ns(20), 2)));
+        assert_eq!(q.pop(), Some((SimTime::from_ns(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ns(5);
+        for i in 0..100 {
+            q.push(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+    }
+
+    #[test]
+    fn now_advances_with_pops() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.push(SimTime::from_ns(7), ());
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_ns(7));
+    }
+
+    #[test]
+    fn interleaved_push_pop_is_consistent() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ns(10), "a");
+        let (t, _) = q.pop().unwrap();
+        // Schedule relative to the fired event.
+        q.push(t + SimDuration::from_ns(5), "b");
+        q.push(t + SimDuration::from_ns(1), "c");
+        assert_eq!(q.pop().unwrap().1, "c");
+        assert_eq!(q.pop().unwrap().1, "b");
+    }
+
+    #[test]
+    fn counters() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(SimTime::from_ns(1), ());
+        q.push(SimTime::from_ns(2), ());
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.events_processed(), 1);
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "scheduling into the past")]
+    fn push_into_past_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_ns(10), ());
+        q.pop();
+        q.push(SimTime::from_ns(5), ());
+    }
+}

@@ -1,0 +1,63 @@
+//! Property-based tests for the event queue and time arithmetic.
+
+use proptest::prelude::*;
+use slingshot_des::{serialization_time, EventQueue, SimDuration, SimTime};
+
+proptest! {
+    /// Popping returns events in nondecreasing time order, and equal times
+    /// preserve insertion order (stable priority queue).
+    #[test]
+    fn pop_order_is_stable_sort(times in proptest::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_ps(t), i);
+        }
+        let mut popped = Vec::new();
+        while let Some((t, idx)) = q.pop() {
+            popped.push((t.as_ps(), idx));
+        }
+        // Expected: stable sort of (time, insertion index).
+        let mut expected: Vec<(u64, usize)> =
+            times.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+        expected.sort_by_key(|&(t, _)| t); // sort_by_key is stable
+        prop_assert_eq!(popped, expected);
+    }
+
+    /// `now()` never decreases, whatever interleaving of pushes and pops.
+    #[test]
+    fn now_is_monotone(ops in proptest::collection::vec((0u64..100, any::<bool>()), 1..200)) {
+        let mut q = EventQueue::new();
+        let mut last_now = SimTime::ZERO;
+        for (delta, do_pop) in ops {
+            if do_pop {
+                if q.pop().is_some() {
+                    prop_assert!(q.now() >= last_now);
+                    last_now = q.now();
+                }
+            } else {
+                q.push(q.now() + SimDuration::from_ps(delta), ());
+            }
+        }
+    }
+
+    /// Time arithmetic: (t + d) - d == t and (t + d) - t == d.
+    #[test]
+    fn time_arith_inverse(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        let t = SimTime::from_ps(t);
+        let d = SimDuration::from_ps(d);
+        prop_assert_eq!((t + d) - d, t);
+        prop_assert_eq!((t + d) - t, d);
+    }
+
+    /// Serialization time is monotone in size and additive across splits.
+    #[test]
+    fn serialization_monotone_additive(a in 1u64..1_000_000, b in 1u64..1_000_000) {
+        let ta = serialization_time(a, 200.0);
+        let tb = serialization_time(b, 200.0);
+        let tab = serialization_time(a + b, 200.0);
+        prop_assert!(tab >= ta);
+        prop_assert!(tab >= tb);
+        // Exact at 200 Gb/s (40 ps/byte divides exactly).
+        prop_assert_eq!(tab, ta + tb);
+    }
+}

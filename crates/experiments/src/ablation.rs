@@ -1,0 +1,220 @@
+//! Ablation studies of the design choices DESIGN.md calls out.
+//!
+//! Not a paper figure — these sweeps isolate *why* Slingshot wins in the
+//! reproduction: (1) the congestion-control algorithm (per-pair hardware
+//! loop vs ECN-like slow loop vs none), (2) the adaptive-routing bias
+//! (minimal-only vs Valiant vs UGAL), and (3) the CC window/recovery
+//! aggressiveness.
+
+use crate::congestion::{machine_for, Victim, WARMUP};
+use crate::scale::Scale;
+use serde::Serialize;
+use slingshot::network::{CcConfig, Network};
+use slingshot::{Profile, System, SystemBuilder};
+use slingshot::congestion::SlingshotCcParams;
+use slingshot_des::SimDuration;
+use slingshot_mpi::{Engine, Job, ProtocolStack};
+use slingshot::routing::RoutingAlgorithm;
+use slingshot_stats::Sample;
+use slingshot_topology::{Allocation, AllocationPolicy};
+use slingshot_workloads::{Congestor, Microbench};
+
+/// One ablation data point.
+#[derive(Clone, Debug, Serialize)]
+pub struct AblationRow {
+    /// Which knob was varied.
+    pub dimension: &'static str,
+    /// The variant's label.
+    pub variant: String,
+    /// Victim congestion impact under a 50 % incast.
+    pub incast_impact: f64,
+}
+
+fn impact_with(net_builder: impl Fn() -> Network, iters: u32, budget: u64) -> f64 {
+    let measure = |with_aggressor: bool| -> f64 {
+        let net = net_builder();
+        let nodes = net.node_count();
+        let mut eng = Engine::new(net, ProtocolStack::mpi());
+        let alloc = Allocation::split(nodes, nodes / 2, AllocationPolicy::Interleaved, 21);
+        if with_aggressor {
+            let job = Job::new(alloc.aggressor.clone());
+            let scripts = Congestor::Incast.scripts(job.ranks());
+            eng.add_job(job, scripts, 0, slingshot_des::SimTime::ZERO);
+        }
+        let ranks = alloc.victim.len() as u32;
+        let scripts = Victim::Micro(Microbench::Allreduce, 8).scripts(ranks, iters, 21);
+        let job = eng.add_job(Job::new(alloc.victim.clone()), scripts, 0, WARMUP);
+        eng.run_to_completion(budget);
+        let s = Sample::from_values(
+            eng.iteration_durations(job)
+                .iter()
+                .map(|d| d.as_secs_f64())
+                .collect(),
+        );
+        s.mean()
+    };
+    measure(true) / measure(false)
+}
+
+/// Sweep the congestion-control algorithm.
+pub fn cc_algorithms(scale: Scale) -> Vec<AblationRow> {
+    let nodes = 32;
+    let iters = scale.iterations().min(6).max(3);
+    let budget = scale.event_budget();
+    [
+        ("none (Aries-style)", Profile::Aries),
+        ("ECN-like slow loop", Profile::SlingshotEcn),
+        ("Slingshot per-pair", Profile::Slingshot),
+    ]
+    .into_iter()
+    .map(|(label, profile)| {
+        // Keep everything but CC constant: use the Slingshot link/latency
+        // profile with the CC swapped in.
+        let builder = move || {
+            let mut cfg = SystemBuilder::new(System::Custom(machine_for(nodes)), Profile::Slingshot)
+                .seed(21)
+                .config();
+            cfg.cc = SystemBuilder::new(System::Custom(machine_for(nodes)), profile)
+                .config()
+                .cc;
+            Network::new(cfg)
+        };
+        AblationRow {
+            dimension: "congestion control",
+            variant: label.to_string(),
+            incast_impact: impact_with(builder, iters, budget),
+        }
+    })
+    .collect()
+}
+
+/// Sweep the routing algorithm (under an all-to-all aggressor, where
+/// routing matters most).
+pub fn routing_algorithms(scale: Scale) -> Vec<AblationRow> {
+    let nodes = 32;
+    let iters = scale.iterations().min(6).max(3);
+    let budget = scale.event_budget();
+    [
+        ("minimal only", RoutingAlgorithm::Minimal),
+        ("Valiant always", RoutingAlgorithm::Valiant),
+        ("UGAL adaptive", RoutingAlgorithm::Adaptive),
+    ]
+    .into_iter()
+    .map(|(label, routing)| {
+        let builder = move || {
+            SystemBuilder::new(System::Custom(machine_for(nodes)), Profile::Slingshot)
+                .routing(routing)
+                .seed(22)
+                .build()
+        };
+        AblationRow {
+            dimension: "routing",
+            variant: label.to_string(),
+            incast_impact: impact_with(builder, iters, budget),
+        }
+    })
+    .collect()
+}
+
+/// Sweep the CC stiffness: the multiplicative decrease applied on a
+/// congested ack.
+pub fn cc_stiffness(scale: Scale) -> Vec<AblationRow> {
+    let nodes = 32;
+    let iters = scale.iterations().min(6).max(3);
+    let budget = scale.event_budget();
+    [0.9, 0.5, 0.25]
+        .into_iter()
+        .map(|factor| {
+            let builder = move || {
+                let mut cfg =
+                    SystemBuilder::new(System::Custom(machine_for(nodes)), Profile::Slingshot)
+                        .seed(23)
+                        .config();
+                cfg.cc = CcConfig::Slingshot(SlingshotCcParams {
+                    decrease_factor: factor,
+                    ..SlingshotCcParams::default()
+                });
+                Network::new(cfg)
+            };
+            AblationRow {
+                dimension: "cc decrease factor",
+                variant: format!("x{factor}"),
+                incast_impact: impact_with(builder, iters, budget),
+            }
+        })
+        .collect()
+}
+
+/// Sweep the CC recovery hold-off (how fast throttled flows probe back).
+pub fn cc_recovery(scale: Scale) -> Vec<AblationRow> {
+    let nodes = 32;
+    let iters = scale.iterations().min(6).max(3);
+    let budget = scale.event_budget();
+    [1u64, 5, 50]
+        .into_iter()
+        .map(|holdoff_us| {
+            let builder = move || {
+                let mut cfg =
+                    SystemBuilder::new(System::Custom(machine_for(nodes)), Profile::Slingshot)
+                        .seed(24)
+                        .config();
+                cfg.cc = CcConfig::Slingshot(SlingshotCcParams {
+                    recovery_holdoff: SimDuration::from_us(holdoff_us),
+                    ..SlingshotCcParams::default()
+                });
+                Network::new(cfg)
+            };
+            AblationRow {
+                dimension: "cc recovery holdoff",
+                variant: format!("{holdoff_us}us"),
+                incast_impact: impact_with(builder, iters, budget),
+            }
+        })
+        .collect()
+}
+
+/// Run every ablation.
+pub fn run(scale: Scale) -> Vec<AblationRow> {
+    let mut rows = cc_algorithms(scale);
+    rows.extend(routing_algorithms(scale));
+    rows.extend(cc_stiffness(scale));
+    rows.extend(cc_recovery(scale));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cc_ablation_orders_algorithms() {
+        let rows = cc_algorithms(Scale::Tiny);
+        let impact = |label: &str| -> f64 {
+            rows.iter()
+                .find(|r| r.variant.starts_with(label))
+                .unwrap()
+                .incast_impact
+        };
+        let none = impact("none");
+        let ss = impact("Slingshot");
+        assert!(
+            ss < none,
+            "per-pair CC ({ss:.2}) must beat no CC ({none:.2})"
+        );
+        assert!(ss < 2.0, "slingshot impact {ss:.2}");
+        assert!(none > 1.5, "no-CC impact {none:.2} too small to ablate");
+    }
+
+    #[test]
+    fn stiffness_matters_directionally() {
+        let rows = cc_stiffness(Scale::Tiny);
+        // A gentle 0.9 decrease factor cannot beat the stiff 0.25 one by
+        // any large margin (stiff back-pressure is the design point).
+        let gentle = rows[0].incast_impact;
+        let stiff = rows[2].incast_impact;
+        assert!(
+            stiff <= gentle * 1.3,
+            "stiff {stiff:.2} vs gentle {gentle:.2}"
+        );
+    }
+}

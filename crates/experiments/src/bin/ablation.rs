@@ -1,0 +1,22 @@
+//! Ablation sweeps: which design choices produce Slingshot's congestion
+//! isolation (not a paper figure; see DESIGN.md).
+
+use slingshot_experiments::report::{save_json, Table};
+use slingshot_experiments::{ablation, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let rows = ablation::run(scale);
+    println!("Ablations — 8B allreduce victim vs 50% incast, interleaved ({})", scale.label());
+    println!();
+    let mut t = Table::new(["dimension", "variant", "incast impact"]);
+    for r in &rows {
+        t.row([
+            r.dimension.to_string(),
+            r.variant.clone(),
+            format!("{:.2}", r.incast_impact),
+        ]);
+    }
+    t.print();
+    save_json(&format!("ablation_{}", scale.label()), &rows);
+}

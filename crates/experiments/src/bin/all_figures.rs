@@ -1,0 +1,35 @@
+//! Runs every figure reproduction at the selected scale, in order.
+
+use slingshot_experiments::Scale;
+use std::process::Command;
+
+const FIGS: [&str; 11] = [
+    "fig2_switch_latency",
+    "fig4_distance",
+    "fig5_stacks",
+    "fig6_alltoall",
+    "fig8_tailbench",
+    "fig9_heatmap",
+    "fig10_distributions",
+    "fig11_fullscale",
+    "fig12_bursty",
+    "fig13_tc_allreduce",
+    "fig14_tc_bandwidth",
+];
+
+fn main() {
+    let scale = Scale::from_args();
+    let exe_dir = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    for fig in FIGS {
+        println!("\n================ {fig} ================\n");
+        let status = Command::new(exe_dir.join(fig))
+            .arg(format!("--{}", scale.label()))
+            .status()
+            .expect("spawn figure binary");
+        assert!(status.success(), "{fig} failed");
+    }
+}

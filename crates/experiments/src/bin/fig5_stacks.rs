@@ -1,0 +1,19 @@
+//! Reproduces Fig. 5: RTT/2 per software layer vs message size.
+
+use slingshot_experiments::report::{fmt_bytes, save_json, Table};
+use slingshot_experiments::{fig5, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let rows = fig5::run(scale);
+    println!("Fig. 5 — RTT/2 by software layer ({})", scale.label());
+    println!();
+    let mut t = Table::new(["stack", "size", "RTT/2 (us)"]);
+    for r in &rows {
+        t.row([r.stack.to_string(), fmt_bytes(r.bytes), format!("{:.3}", r.half_rtt_us)]);
+    }
+    t.print();
+    println!();
+    println!("paper inset at 8 B: verbs ~1.3 us, MPI slightly above libfabric, UDP ~2.3, TCP ~3.3");
+    save_json(&format!("fig5_{}", scale.label()), &rows);
+}

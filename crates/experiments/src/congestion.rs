@@ -1,0 +1,326 @@
+//! The central congestion-impact harness (paper §III-A).
+//!
+//! A *victim* job and an *aggressor* job share a machine under a placement
+//! policy; the congestion impact is `C = Tc / Ti` — the victim's mean
+//! execution time with the aggressor over its mean time in isolation
+//! (GPCNet's metric, Equation 1 of the paper).
+
+use crate::scale::Scale;
+use serde::Serialize;
+use slingshot::{Profile, System, SystemBuilder};
+use slingshot_des::{SimDuration, SimTime};
+use slingshot_mpi::{Engine, Job, ProtocolStack, Script};
+use slingshot_stats::Sample;
+use slingshot_topology::{shandy, Allocation, AllocationPolicy, DragonflyParams};
+use slingshot_workloads::{Congestor, HpcApp, Microbench, TailApp};
+use slingshot_workloads::ember;
+
+/// A victim workload of the paper's heatmaps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Victim {
+    /// Standard MPI microbenchmark at a message size.
+    Micro(Microbench, u64),
+    /// Ember halo3d with the given face size.
+    Halo3d(u64),
+    /// Ember sweep3d with the given border size.
+    Sweep3d(u64),
+    /// Ember incast with the given message size.
+    EmberIncast(u64),
+    /// HPC application skeleton.
+    App(HpcApp),
+    /// Tailbench client/server proxy (uses two victim nodes).
+    Tail(TailApp),
+}
+
+impl Victim {
+    /// Column label matching the paper's figures.
+    pub fn label(self) -> String {
+        match self {
+            Victim::Micro(mb, bytes) => {
+                format!("{} {}", mb.label(), crate::report::fmt_bytes(bytes))
+            }
+            Victim::Halo3d(b) => format!("hal {}", crate::report::fmt_bytes(b)),
+            Victim::Sweep3d(b) => format!("swp {}", crate::report::fmt_bytes(b)),
+            Victim::EmberIncast(b) => format!("inc {}", crate::report::fmt_bytes(b)),
+            Victim::App(a) => a.label().to_string(),
+            Victim::Tail(t) => t.label().to_string(),
+        }
+    }
+
+    /// How many ranks this victim actually uses out of `victim_nodes`.
+    pub fn ranks_for(self, victim_nodes: u32) -> u32 {
+        match self {
+            Victim::Tail(_) => 2.min(victim_nodes),
+            Victim::App(a) if a.requires_power_of_two() => {
+                // The paper's MILC/HPCG restriction: round down to a power
+                // of two (Fig. 11 marks impossible cells N.A.).
+                if victim_nodes == 0 {
+                    0
+                } else {
+                    1 << (31 - victim_nodes.leading_zeros())
+                }
+            }
+            _ => victim_nodes,
+        }
+    }
+
+    /// Build the victim scripts for `ranks` ranks and `iters` iterations.
+    pub fn scripts(self, ranks: u32, iters: u32, seed: u64) -> Vec<Script> {
+        match self {
+            Victim::Micro(mb, bytes) => mb.scripts(ranks, bytes, iters),
+            Victim::Halo3d(b) => ember::halo3d(ranks, b, iters, SimDuration::from_us(20)),
+            Victim::Sweep3d(b) => ember::sweep3d(ranks, b, iters, SimDuration::from_us(5)),
+            Victim::EmberIncast(b) => ember::incast(ranks, b, iters),
+            Victim::App(a) => a.scripts(ranks, iters),
+            Victim::Tail(t) => {
+                let (c, s) = t.scripts(iters, seed);
+                vec![c, s]
+            }
+        }
+    }
+}
+
+/// One configured cell of a congestion experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct Cell {
+    /// Network profile (Slingshot vs Aries baseline).
+    pub profile: Profile,
+    /// Total machine nodes in play.
+    pub nodes: u32,
+    /// Nodes given to the victim (the rest go to the aggressor).
+    pub victim_nodes: u32,
+    /// Placement policy.
+    pub policy: AllocationPolicy,
+    /// Aggressor pattern (None = isolated baseline).
+    pub aggressor: Option<Congestor>,
+    /// Aggressor processes per node.
+    pub aggressor_ppn: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Result of one cell run.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct CellResult {
+    /// Mean victim iteration time, seconds.
+    pub mean_secs: f64,
+    /// Median victim iteration time, seconds.
+    pub median_secs: f64,
+    /// 99th percentile, seconds.
+    pub p99_secs: f64,
+    /// 95th percentile, seconds.
+    pub p95_secs: f64,
+    /// Iterations measured.
+    pub iterations: usize,
+}
+
+/// Pick a machine shape that exactly fits `nodes` endpoints: the paper's
+/// Shandy for ≥ 512 nodes, otherwise a fully-populated two-group system
+/// (the shape of Crystal and of the paper's 128-node Malbec subset).
+pub fn machine_for(nodes: u32) -> DragonflyParams {
+    assert!(
+        nodes >= 32 && nodes % 32 == 0,
+        "node count must be a multiple of 32"
+    );
+    if nodes >= 512 {
+        return shandy();
+    }
+    // Four groups and at least two switches per group: enough structure
+    // for placement policies to matter AND for Valiant detours to transit
+    // third-party groups — the mechanism by which congestion spreads
+    // between group-aligned partitions on the real systems. Shapes:
+    // 32 → 4g×2s×4p, 64 → 4g×2s×8p, 128 → 4g×2s×16p, 256 → 4g×4s×16p.
+    let endpoints = (nodes / 8).clamp(4, 16);
+    DragonflyParams {
+        groups: 4,
+        switches_per_group: nodes / (4 * endpoints),
+        endpoints_per_switch: endpoints,
+        global_links_per_pair: 8,
+        intra_links_per_pair: 1,
+    }
+}
+
+/// Time given to the aggressor to saturate the network before the victim
+/// starts.
+pub const WARMUP: SimTime = SimTime(150 * slingshot_des::PS_PER_US);
+
+/// Run one cell with one victim; returns per-iteration stats.
+pub fn run_cell(cell: &Cell, victim: Victim, iters: u32, event_budget: u64) -> CellResult {
+    let machine = machine_for(cell.nodes);
+    let net = SystemBuilder::new(System::Custom(machine), cell.profile)
+        .seed(cell.seed)
+        .build();
+    let mut eng = Engine::new(net, ProtocolStack::mpi());
+
+    let alloc = Allocation::split(cell.nodes, cell.victim_nodes, cell.policy, cell.seed);
+
+    if let Some(congestor) = cell.aggressor {
+        if alloc.aggressor.len() >= 2 {
+            let aggr_job = Job::with_ppn(alloc.aggressor.clone(), cell.aggressor_ppn);
+            let scripts = congestor.scripts(aggr_job.ranks());
+            eng.add_job(aggr_job, scripts, 0, SimTime::ZERO);
+        }
+    }
+
+    let ranks = victim.ranks_for(cell.victim_nodes);
+    assert!(ranks >= 2, "victim needs at least two ranks");
+    let victim_nodes: Vec<_> = alloc.victim[..ranks as usize].to_vec();
+    let scripts = victim.scripts(ranks, iters, cell.seed);
+    let victim_job = eng.add_job(Job::new(victim_nodes), scripts, 0, WARMUP);
+
+    eng.run_to_completion(event_budget);
+
+    let durations = eng.iteration_durations(victim_job);
+    assert!(!durations.is_empty(), "victim produced no iterations");
+    let mut sample = Sample::from_values(
+        durations.iter().map(|d| d.as_secs_f64()).collect(),
+    );
+    CellResult {
+        mean_secs: sample.mean(),
+        median_secs: sample.median(),
+        p99_secs: sample.percentile(99.0),
+        p95_secs: sample.percentile(95.0),
+        iterations: sample.len(),
+    }
+}
+
+/// Congestion impact `C = Tc / Ti` from a loaded and an isolated result
+/// (means, as in the paper's Equation 1).
+pub fn congestion_impact(loaded: &CellResult, isolated: &CellResult) -> f64 {
+    loaded.mean_secs / isolated.mean_secs
+}
+
+/// Run the isolated baseline and one loaded cell; returns
+/// `(isolated, loaded, impact)`.
+pub fn run_pair(cell: &Cell, victim: Victim, iters: u32, budget: u64) -> (CellResult, CellResult, f64) {
+    let isolated_cell = Cell {
+        aggressor: None,
+        ..*cell
+    };
+    let isolated = run_cell(&isolated_cell, victim, iters, budget);
+    let loaded = run_cell(cell, victim, iters, budget);
+    let impact = congestion_impact(&loaded, &isolated);
+    (isolated, loaded, impact)
+}
+
+/// The victim/aggressor node splits of the paper at a machine size
+/// (10 % / 50 % / 90 % of nodes to the victim; 53/256/460 at 512 nodes).
+pub fn paper_victim_splits(nodes: u32) -> [u32; 3] {
+    Allocation::paper_split_counts(nodes)
+}
+
+/// Default victim set for heatmap figures at a given scale.
+pub fn default_victims(scale: Scale) -> Vec<Victim> {
+    let mut v = vec![
+        Victim::App(HpcApp::Milc),
+        Victim::App(HpcApp::Lammps),
+        Victim::Tail(TailApp::Silo),
+        Victim::Tail(TailApp::ImgDnn),
+        Victim::Micro(Microbench::Pingpong, 8),
+        Victim::Micro(Microbench::Allreduce, 8),
+        Victim::Micro(Microbench::Alltoall, 128),
+        Victim::Halo3d(8 << 10),
+    ];
+    if scale != Scale::Tiny {
+        v.extend([
+            Victim::App(HpcApp::Hpcg),
+            Victim::App(HpcApp::Fft),
+            Victim::App(HpcApp::ResnetProxy),
+            Victim::Tail(TailApp::Xapian),
+            Victim::Micro(Microbench::Pingpong, 128 << 10),
+            Victim::Micro(Microbench::Allreduce, 128 << 10),
+            Victim::Micro(Microbench::Barrier, 8),
+            Victim::Micro(Microbench::Broadcast, 1 << 10),
+            Victim::Sweep3d(512),
+            Victim::EmberIncast(8 << 10),
+        ]);
+    }
+    if scale == Scale::Paper {
+        v.push(Victim::Tail(TailApp::Sphinx));
+        for mb in Microbench::ALL {
+            for &bytes in mb.paper_sizes() {
+                let cand = Victim::Micro(mb, bytes);
+                if !v.contains(&cand) {
+                    v.push(cand);
+                }
+            }
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_shapes() {
+        for n in [32, 64, 128, 256] {
+            assert_eq!(machine_for(n).total_nodes(), n, "n={n}");
+            assert!(machine_for(n).validate().is_ok(), "n={n}");
+            assert!(machine_for(n).total_switches() >= 8, "n={n}");
+        }
+        assert_eq!(machine_for(512), shandy());
+    }
+
+    #[test]
+    fn victim_rank_adjustment() {
+        assert_eq!(Victim::Tail(TailApp::Silo).ranks_for(53), 2);
+        assert_eq!(Victim::App(HpcApp::Milc).ranks_for(53), 32);
+        assert_eq!(Victim::App(HpcApp::Milc).ranks_for(64), 64);
+        assert_eq!(Victim::App(HpcApp::Lammps).ranks_for(53), 53);
+    }
+
+    #[test]
+    fn isolated_cell_runs() {
+        let cell = Cell {
+            profile: Profile::Slingshot,
+            nodes: 32,
+            victim_nodes: 16,
+            policy: AllocationPolicy::Linear,
+            aggressor: None,
+            aggressor_ppn: 1,
+            seed: 1,
+        };
+        let r = run_cell(&cell, Victim::Micro(Microbench::Barrier, 8), 3, 50_000_000);
+        assert_eq!(r.iterations, 3);
+        assert!(r.mean_secs > 0.0 && r.mean_secs < 1e-3);
+    }
+
+    #[test]
+    fn incast_impact_large_on_aries_small_on_slingshot() {
+        // Interleaved placement maximizes victim/aggressor sharing (the
+        // paper's worst case); a linear split on a tiny two-switch machine
+        // would isolate the jobs entirely.
+        let base = Cell {
+            profile: Profile::Aries,
+            nodes: 32,
+            victim_nodes: 16,
+            policy: AllocationPolicy::Interleaved,
+            aggressor: Some(Congestor::Incast),
+            aggressor_ppn: 1,
+            seed: 2,
+        };
+        let victim = Victim::Micro(Microbench::Pingpong, 8);
+        let (_, _, aries_impact) = run_pair(&base, victim, 4, 400_000_000);
+        let ss_cell = Cell {
+            profile: Profile::Slingshot,
+            ..base
+        };
+        let (_, _, ss_impact) = run_pair(&ss_cell, victim, 4, 400_000_000);
+        assert!(
+            aries_impact > 2.0,
+            "aries incast impact only {aries_impact:.2}"
+        );
+        assert!(ss_impact < 1.8, "slingshot impact {ss_impact:.2}");
+        assert!(aries_impact > 1.5 * ss_impact);
+    }
+
+    #[test]
+    fn default_victim_sets_grow_with_scale() {
+        assert!(default_victims(Scale::Tiny).len() < default_victims(Scale::Quick).len());
+        assert!(
+            default_victims(Scale::Quick).len() < default_victims(Scale::Paper).len()
+        );
+    }
+}

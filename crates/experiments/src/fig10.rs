@@ -1,0 +1,109 @@
+//! Fig. 10 — Congestion-impact distributions across allocation policies,
+//! aggressor PPN, and machine size.
+//!
+//! Panel A: linear/interleaved/random at 512 nodes, 1 aggressor PPN
+//! (paper maxima 92/144/154 on Aries, ≤ 2.3 on Slingshot).
+//! Panel B: the same with 24 aggressor PPN (Aries max 424; Slingshot barely
+//! moves). Panel C: 128 nodes (Aries max drops to ~40, Slingshot to 1.5).
+
+use crate::fig9::{run as run_heatmap, summarize, HeatmapOpts, ImpactSummary};
+use crate::scale::Scale;
+use serde::Serialize;
+use slingshot::Profile;
+use slingshot_topology::AllocationPolicy;
+
+/// One violin of the figure.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig10Row {
+    /// Panel id (A/B/C).
+    pub panel: char,
+    /// Profile name.
+    pub profile: &'static str,
+    /// Allocation policy label.
+    pub policy: &'static str,
+    /// Impact distribution summary.
+    pub summary: ImpactSummary,
+}
+
+fn panel_opts(scale: Scale, panel: char) -> (HeatmapOpts, u32) {
+    let mut opts = HeatmapOpts::fig9(scale);
+    // Distribution panels subsample the victim grid (the full grid is
+    // Fig. 9's job); shares stay as in Fig. 9.
+    opts.victims = crate::congestion::default_victims(Scale::Tiny);
+    let ppn = match panel {
+        'B' => match scale {
+            Scale::Paper => 24,
+            _ => 4,
+        },
+        _ => 1,
+    };
+    if panel == 'C' {
+        opts.nodes = match scale {
+            Scale::Paper => 128,
+            _ => 32,
+        };
+    }
+    opts.aggressor_ppn = ppn;
+    (opts, ppn)
+}
+
+/// Run all three panels.
+pub fn run(scale: Scale) -> Vec<Fig10Row> {
+    let mut rows = Vec::new();
+    for panel in ['A', 'B', 'C'] {
+        let (base, _ppn) = panel_opts(scale, panel);
+        for policy in AllocationPolicy::ALL {
+            let mut opts = base.clone();
+            opts.policy = policy;
+            let cells = run_heatmap(&opts);
+            for profile in [Profile::Aries, Profile::Slingshot] {
+                let name = match profile {
+                    Profile::Aries => "Aries",
+                    _ => "Slingshot",
+                };
+                let impacts: Vec<f64> = cells
+                    .iter()
+                    .filter(|c| c.profile == name)
+                    .map(|c| c.impact)
+                    .collect();
+                rows.push(Fig10Row {
+                    panel,
+                    profile: name,
+                    policy: policy.label(),
+                    summary: summarize(&impacts),
+                });
+            }
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A reduced panel-A comparison: Slingshot's distribution is tight and
+    /// low; Aries' maximum dwarfs it.
+    #[test]
+    fn panel_a_contrast() {
+        let (mut opts, _) = panel_opts(Scale::Tiny, 'A');
+        opts.nodes = 32;
+        opts.iters = 3;
+        opts.shares = vec![90];
+        opts.policy = AllocationPolicy::Interleaved;
+        opts.victims.truncate(5);
+        let cells = run_heatmap(&opts);
+        let max_of = |name: &str| -> f64 {
+            cells
+                .iter()
+                .filter(|c| c.profile == name)
+                .map(|c| c.impact)
+                .fold(0.0, f64::max)
+        };
+        let aries = max_of("Aries");
+        let ss = max_of("Slingshot");
+        assert!(aries > 2.0, "aries max {aries:.2}");
+        assert!(ss < aries, "slingshot {ss:.2} !< aries {aries:.2}");
+        assert!(ss < 3.0, "slingshot max {ss:.2}");
+    }
+}

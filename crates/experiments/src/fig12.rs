@@ -1,0 +1,145 @@
+//! Fig. 12 — Impact of bursty incast congestion on a 128-byte
+//! `MPI_Alltoall`.
+//!
+//! Malbec, interleaved allocation, 50/50 split. The aggressor sends bursts
+//! of `burst_size` messages separated by `gap` idle time, for aggressor
+//! message sizes of 16 KiB / 128 KiB / 1 MiB. The paper: small messages do
+//! not build congestion, large ones are throttled immediately; medium
+//! (128 KiB) messages squeeze in up to 1.21x impact before the control
+//! loop reacts, worst for long bursts and short gaps; a 10⁶-message burst
+//! behaves like persistent congestion.
+
+use crate::congestion::{machine_for, Victim, WARMUP};
+use crate::scale::Scale;
+use serde::Serialize;
+use slingshot::{Profile, System, SystemBuilder};
+use slingshot_des::SimDuration;
+use slingshot_mpi::{Engine, Job, ProtocolStack, Script};
+use slingshot_stats::Sample;
+use slingshot_topology::{Allocation, AllocationPolicy};
+use slingshot_workloads::gpcnet::bursty_incast_aggressor;
+use slingshot_workloads::Microbench;
+
+/// One heatmap cell.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig12Row {
+    /// Aggressor message size, bytes.
+    pub aggressor_bytes: u64,
+    /// Messages per burst.
+    pub burst_size: u64,
+    /// Gap between bursts, microseconds.
+    pub gap_us: u64,
+    /// Congestion impact on the 128 B all-to-all victim.
+    pub impact: f64,
+}
+
+/// Sweep axes per scale.
+pub fn axes(scale: Scale) -> (Vec<u64>, Vec<u64>, Vec<u64>) {
+    match scale {
+        Scale::Tiny => (
+            vec![128 << 10],
+            vec![1, 100],
+            vec![1, 10_000],
+        ),
+        Scale::Quick => (
+            vec![16 << 10, 128 << 10, 1 << 20],
+            vec![1, 100, 10_000],
+            vec![1, 100, 10_000],
+        ),
+        Scale::Paper => (
+            vec![16 << 10, 128 << 10, 1 << 20],
+            vec![1, 100, 10_000, 1_000_000],
+            vec![1, 100, 10_000, 1_000_000],
+        ),
+    }
+}
+
+/// Run the sweep.
+pub fn run(scale: Scale) -> Vec<Fig12Row> {
+    let nodes = scale.congestion_nodes();
+    let iters = scale.iterations().max(4);
+    let (sizes, bursts, gaps) = axes(scale);
+    let isolated = measure(nodes, None, iters, scale);
+    let mut rows = Vec::new();
+    for &bytes in &sizes {
+        for &burst in &bursts {
+            for &gap in &gaps {
+                let loaded = measure(nodes, Some((bytes, burst, gap)), iters, scale);
+                rows.push(Fig12Row {
+                    aggressor_bytes: bytes,
+                    burst_size: burst,
+                    gap_us: gap,
+                    impact: loaded / isolated,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Mean victim iteration time with an optional bursty aggressor
+/// `(bytes, burst, gap_us)`.
+fn measure(nodes: u32, aggressor: Option<(u64, u64, u64)>, iters: u32, scale: Scale) -> f64 {
+    let machine = machine_for(nodes);
+    let net = SystemBuilder::new(System::Custom(machine), Profile::Slingshot)
+        .seed(12)
+        .build();
+    let mut eng = Engine::new(net, ProtocolStack::mpi());
+    let alloc = Allocation::split(nodes, nodes / 2, AllocationPolicy::Interleaved, 12);
+    if let Some((bytes, burst, gap)) = aggressor {
+        let job = Job::new(alloc.aggressor.clone());
+        let scripts =
+            bursty_incast_aggressor(job.ranks(), bytes, burst, SimDuration::from_us(gap));
+        eng.add_job(job, scripts, 0, slingshot_des::SimTime::ZERO);
+    }
+    let ranks = alloc.victim.len() as u32;
+    let scripts: Vec<Script> = Victim::Micro(Microbench::Alltoall, 128)
+        .scripts(ranks, iters, 12);
+    let job = eng.add_job(Job::new(alloc.victim.clone()), scripts, 0, WARMUP);
+    eng.run_to_completion(scale.event_budget());
+    let s = Sample::from_values(
+        eng.iteration_durations(job)
+            .iter()
+            .map(|d| d.as_secs_f64())
+            .collect(),
+    );
+    s.mean()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bursty_impact_is_bounded_on_slingshot() {
+        let rows = run(Scale::Tiny);
+        assert!(!rows.is_empty());
+        for r in &rows {
+            // The paper's worst bursty cell is 1.21x — allow up to 2x for
+            // the scaled system, and no cell may show a huge collapse.
+            assert!(
+                r.impact < 2.0,
+                "burst={} gap={}us: impact {:.2}",
+                r.burst_size,
+                r.gap_us,
+                r.impact
+            );
+        }
+    }
+
+    #[test]
+    fn long_bursts_hurt_at_least_as_much_as_short_ones() {
+        let rows = run(Scale::Tiny);
+        let impact = |burst: u64, gap: u64| -> f64 {
+            rows.iter()
+                .find(|r| r.burst_size == burst && r.gap_us == gap)
+                .unwrap()
+                .impact
+        };
+        // With a short gap, a longer burst cannot hurt *less* by any
+        // meaningful margin.
+        let short = impact(1, 1);
+        let long = impact(100, 1);
+        assert!(long > short - 0.15, "short {short:.2} long {long:.2}");
+    }
+}

@@ -1,0 +1,194 @@
+//! Fig. 13 — Traffic-class isolation of a latency-sensitive collective.
+//!
+//! An 8 B `MPI_Allreduce` job co-runs with a 256 KiB `MPI_Alltoall` job on
+//! a bandwidth-tapered system (the paper tapers Malbec to 25 %),
+//! interleaved placement. In the same traffic class the allreduce suffers
+//! ~2.85x once the alltoall starts (~0.4 ms into the run); in a separate
+//! class only ~1.15x.
+
+use crate::congestion::machine_for;
+use crate::scale::Scale;
+use serde::Serialize;
+use slingshot::{Profile, System, SystemBuilder};
+use slingshot_des::{SimDuration, SimTime};
+use slingshot_mpi::{coll, Engine, Job, JobId, MpiOp, ProtocolStack, Script};
+use slingshot_qos::{TrafficClass, TrafficClassSet};
+use slingshot_topology::{Allocation, AllocationPolicy};
+
+/// One timeline point.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig13Row {
+    /// Whether the jobs shared one traffic class.
+    pub same_class: bool,
+    /// Iteration start time, ms.
+    pub time_ms: f64,
+    /// Congestion impact of that allreduce iteration.
+    pub impact: f64,
+}
+
+/// Looping allreduce scripts with an iteration mark per pass.
+fn allreduce_loop(ranks: u32, bytes: u64) -> Vec<Script> {
+    let frags = coll::allreduce(ranks, bytes, 0);
+    frags
+        .into_iter()
+        .map(|ops| {
+            let mut s = Script::new();
+            s.push(MpiOp::Mark(0));
+            s.ops.extend(ops);
+            s.repeat_forever()
+        })
+        .collect()
+}
+
+/// Looping pairwise-alltoall scripts.
+fn alltoall_loop(ranks: u32, bytes: u64) -> Vec<Script> {
+    coll::alltoall(ranks, bytes, 0)
+        .into_iter()
+        .map(|ops| Script::from_ops(ops).repeat_forever())
+        .collect()
+}
+
+/// Per-iteration `(start, duration)` of a looping marked job: iteration k
+/// spans the k-th to (k+1)-th mark of each rank; duration is the max over
+/// ranks (the paper's convention).
+pub fn loop_iterations(eng: &Engine, job: JobId) -> Vec<(SimTime, SimDuration)> {
+    use std::collections::HashMap;
+    let mut per_rank: HashMap<u32, Vec<SimTime>> = HashMap::new();
+    for m in eng.marks() {
+        if m.job == job {
+            per_rank.entry(m.rank).or_default().push(m.at);
+        }
+    }
+    if per_rank.is_empty() {
+        return Vec::new();
+    }
+    let iters = per_rank.values().map(Vec::len).min().unwrap();
+    (0..iters.saturating_sub(1))
+        .map(|k| {
+            let start = per_rank.values().map(|v| v[k]).min().unwrap();
+            let dur = per_rank
+                .values()
+                .map(|v| v[k + 1].since(v[k]))
+                .max()
+                .unwrap();
+            (start, dur)
+        })
+        .collect()
+}
+
+/// The traffic-class set for the "separate classes" case: two equal
+/// classes with modest guarantees.
+fn two_classes() -> TrafficClassSet {
+    TrafficClassSet::new(vec![
+        TrafficClass::low_latency(1, 0.3),
+        TrafficClass::bulk(2, 0.6),
+    ])
+    .expect("static config")
+}
+
+struct RunOutput {
+    iterations: Vec<(SimTime, SimDuration)>,
+}
+
+fn run_case(scale: Scale, same_class: bool, with_alltoall: bool) -> RunOutput {
+    let nodes = scale.congestion_nodes();
+    let classes = if same_class {
+        TrafficClassSet::single()
+    } else {
+        two_classes()
+    };
+    let net = SystemBuilder::new(System::Custom(machine_for(nodes)), Profile::Slingshot)
+        .taper(0.25)
+        .traffic_classes(classes)
+        .seed(13)
+        .build();
+    let mut eng = Engine::new(net, ProtocolStack::mpi());
+    let alloc = Allocation::split(nodes, nodes / 2, AllocationPolicy::Interleaved, 13);
+    let ppn = if scale == Scale::Paper { 16 } else { 2 };
+
+    let ar_job = Job::with_ppn(alloc.victim.clone(), ppn);
+    let ar_ranks = ar_job.ranks();
+    let ar_id = eng.add_job(ar_job, allreduce_loop(ar_ranks, 8), 0, SimTime::ZERO);
+
+    if with_alltoall {
+        let a2a_job = Job::with_ppn(alloc.aggressor.clone(), ppn);
+        let a2a_ranks = a2a_job.ranks();
+        let tc = if same_class { 0 } else { 1 };
+        eng.add_job(
+            a2a_job,
+            alltoall_loop(a2a_ranks, 256 << 10),
+            tc,
+            SimTime::from_us(400),
+        );
+    }
+
+    let horizon = match scale {
+        Scale::Tiny => SimTime::from_ms(1),
+        _ => SimTime::from_ms(3),
+    };
+    eng.run_until_time(horizon);
+    RunOutput {
+        iterations: loop_iterations(&eng, ar_id),
+    }
+}
+
+/// Run both cases; impacts are normalized by the pre-alltoall (quiet)
+/// iteration mean of each case.
+pub fn run(scale: Scale) -> Vec<Fig13Row> {
+    let mut rows = Vec::new();
+    for same_class in [true, false] {
+        let out = run_case(scale, same_class, true);
+        // Baseline: iterations that completed before the alltoall starts.
+        let quiet: Vec<f64> = out
+            .iterations
+            .iter()
+            .filter(|(t, _)| *t < SimTime::from_us(350))
+            .map(|(_, d)| d.as_secs_f64())
+            .collect();
+        let quiet_mean = if quiet.is_empty() {
+            // Fall back to an isolated run.
+            let iso = run_case(scale, same_class, false);
+            iso.iterations
+                .iter()
+                .map(|(_, d)| d.as_secs_f64())
+                .sum::<f64>()
+                / iso.iterations.len().max(1) as f64
+        } else {
+            quiet.iter().sum::<f64>() / quiet.len() as f64
+        };
+        for (start, dur) in &out.iterations {
+            rows.push(Fig13Row {
+                same_class,
+                time_ms: start.as_ms_f64(),
+                impact: dur.as_secs_f64() / quiet_mean,
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separate_classes_isolate_the_allreduce() {
+        let rows = run(Scale::Tiny);
+        let after = |same: bool| -> f64 {
+            let v: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.same_class == same && r.time_ms > 0.5)
+                .map(|r| r.impact)
+                .collect();
+            assert!(!v.is_empty(), "no post-start iterations (same={same})");
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        let same = after(true);
+        let separate = after(false);
+        // Paper: 2.85x vs 1.15x. Shapes: same-class clearly worse and
+        // separate-class close to isolated.
+        assert!(same > 1.5, "same-class impact {same:.2}");
+        assert!(separate < same, "separate {separate:.2} !< same {same:.2}");
+        assert!(separate < 1.6, "separate-class impact {separate:.2}");
+    }
+}

@@ -1,0 +1,172 @@
+//! Fig. 8 — Tailbench request-latency distributions with and without
+//! endpoint congestion, Aries vs Slingshot.
+//!
+//! Linear allocation, 10 %/90 % victim/aggressor split, incast aggressor.
+//! The paper: severe degradation for Silo, Xapian and Img-dnn on Aries,
+//! none on Slingshot; Sphinx degrades less because its communication to
+//! computation ratio is tiny; tails (95p/99p) stretch most on Aries.
+
+use crate::congestion::{machine_for, WARMUP};
+use crate::scale::Scale;
+use serde::Serialize;
+use slingshot::{Profile, System, SystemBuilder};
+use slingshot_mpi::{Engine, Job, ProtocolStack};
+use slingshot_stats::Sample;
+use slingshot_topology::{Allocation, AllocationPolicy};
+
+/// Placement: the paper uses linear on its 698/1024-node systems, where a
+/// 10 % victim still spans many switches that aggressor traffic co-injects
+/// into. On scaled-down machines a linear split degenerates into perfect
+/// victim/aggressor isolation, so sub-paper scales use interleaved
+/// placement to preserve the sharing structure.
+fn placement(scale: Scale) -> AllocationPolicy {
+    match scale {
+        Scale::Paper => AllocationPolicy::Linear,
+        _ => AllocationPolicy::Interleaved,
+    }
+}
+use slingshot_workloads::{Congestor, TailApp};
+
+/// One panel entry.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig8Row {
+    /// Application.
+    pub app: &'static str,
+    /// Network profile name.
+    pub profile: &'static str,
+    /// With or without the incast aggressor.
+    pub congested: bool,
+    /// Median request latency, ms.
+    pub median_ms: f64,
+    /// Mean request latency, ms.
+    pub mean_ms: f64,
+    /// 95th percentile, ms.
+    pub p95_ms: f64,
+    /// 99th percentile, ms.
+    pub p99_ms: f64,
+    /// Requests measured.
+    pub requests: usize,
+}
+
+/// Sphinx's seconds-long services are compressed in sub-paper scales so a
+/// run stays tractable; the compression factor used per scale.
+pub fn sphinx_service_scale(scale: Scale) -> f64 {
+    match scale {
+        Scale::Tiny => 0.01,
+        Scale::Quick => 0.05,
+        Scale::Paper => 1.0,
+    }
+}
+
+/// Run the figure.
+pub fn run(scale: Scale) -> Vec<Fig8Row> {
+    let mut rows = Vec::new();
+    let apps: &[TailApp] = match scale {
+        Scale::Tiny => &[TailApp::Silo, TailApp::ImgDnn],
+        _ => &TailApp::ALL,
+    };
+    for &app in apps {
+        for profile in [Profile::Aries, Profile::Slingshot] {
+            for congested in [false, true] {
+                rows.push(measure(app, profile, congested, scale));
+            }
+        }
+    }
+    rows
+}
+
+fn measure(app: TailApp, profile: Profile, congested: bool, scale: Scale) -> Fig8Row {
+    let nodes = scale.congestion_nodes();
+    let machine = machine_for(nodes);
+    let net = SystemBuilder::new(System::Custom(machine), profile)
+        .seed(8)
+        .build();
+    let mut eng = Engine::new(net, ProtocolStack::mpi());
+
+    // 10 % of nodes to the victim — but always enough victim nodes to
+    // span two switches, so client and server are not co-located on one
+    // switch (as they would not be on the paper's 70-node victim
+    // partitions).
+    let victim_count = (nodes / 10).max(machine.endpoints_per_switch + 2);
+    let alloc = Allocation::split(nodes, victim_count, placement(scale), 8);
+
+    if congested && alloc.aggressor.len() >= 2 {
+        let job = Job::new(alloc.aggressor.clone());
+        let scripts = Congestor::Incast.scripts(job.ranks());
+        eng.add_job(job, scripts, 0, slingshot_des::SimTime::ZERO);
+    }
+
+    // Client on the first victim node, server on the last — spanning the
+    // victim partition as a multi-switch deployment would.
+    let client = alloc.victim[0];
+    let server = *alloc.victim.last().unwrap();
+    let service_scale = if app == TailApp::Sphinx {
+        sphinx_service_scale(scale)
+    } else {
+        1.0
+    };
+    let (c, s) = app.scripts_scaled(scale.tail_requests(), 8, service_scale);
+    let job = eng.add_job(Job::new(vec![client, server]), vec![c, s], 0, WARMUP);
+    eng.run_to_completion(scale.event_budget());
+
+    let mut lat = Sample::from_values(
+        eng.iteration_durations(job)
+            .iter()
+            .map(|d| d.as_ms_f64())
+            .collect(),
+    );
+    Fig8Row {
+        app: app.label(),
+        profile: match profile {
+            Profile::Aries => "Aries",
+            _ => "Slingshot",
+        },
+        congested,
+        median_ms: lat.median(),
+        mean_ms: lat.mean(),
+        p95_ms: lat.percentile(95.0),
+        p99_ms: lat.percentile(99.0),
+        requests: lat.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aries_degrades_slingshot_does_not() {
+        let rows = run(Scale::Tiny);
+        let find = |app: &str, profile: &str, congested: bool| -> &Fig8Row {
+            rows.iter()
+                .find(|r| r.app == app && r.profile == profile && r.congested == congested)
+                .unwrap()
+        };
+        let impact = |app: &str, profile: &str| -> f64 {
+            find(app, profile, true).mean_ms / find(app, profile, false).mean_ms
+        };
+        // Silo's µs-scale services make it the most network-sensitive
+        // victim: the Aries collapse must be unambiguous.
+        let silo_aries = impact("silo", "Aries");
+        let silo_ss = impact("silo", "Slingshot");
+        assert!(silo_aries > 1.5, "silo: aries impact only {silo_aries:.2}");
+        assert!(silo_ss < 1.4, "silo: slingshot impact {silo_ss:.2}");
+        // img-dnn's ~1 ms services dilute the queueing delay at this
+        // machine scale; the ordering claims still must hold.
+        let img_aries = impact("img-dnn", "Aries");
+        let img_ss = impact("img-dnn", "Slingshot");
+        assert!(img_aries > 1.02, "img-dnn: aries impact {img_aries:.2}");
+        assert!(img_aries > img_ss, "img-dnn ordering: {img_aries:.2} vs {img_ss:.2}");
+        assert!(img_ss < 1.2, "img-dnn: slingshot impact {img_ss:.2}");
+    }
+
+    #[test]
+    fn tails_exceed_medians() {
+        let rows = run(Scale::Tiny);
+        for r in &rows {
+            assert!(r.p99_ms >= r.p95_ms);
+            assert!(r.p95_ms >= r.median_ms * 0.99);
+            assert!(r.requests >= 2);
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Fig. 9 — The congestion-impact heatmap.
+//!
+//! Victims (applications, Tailbench, microbenchmarks, ember patterns) ×
+//! aggressors (all-to-all, incast) × aggressor node shares (10/50/90 %),
+//! linear allocation, on both Aries and Slingshot. The paper: worst case
+//! 93x on Aries vs 1.3x on Slingshot; incast (endpoint congestion) is the
+//! damaging pattern, all-to-all is routed around; impact grows with the
+//! aggressor share and hits small messages hardest.
+
+use crate::congestion::{default_victims, run_cell, Cell, Victim};
+use crate::scale::Scale;
+use serde::Serialize;
+use slingshot::Profile;
+use slingshot_topology::AllocationPolicy;
+use slingshot_workloads::Congestor;
+use std::collections::HashMap;
+
+/// One heatmap cell.
+#[derive(Clone, Debug, Serialize)]
+pub struct HeatmapCell {
+    /// Network profile name.
+    pub profile: &'static str,
+    /// Aggressor pattern label.
+    pub aggressor: &'static str,
+    /// Fraction of nodes given to the aggressor (percent).
+    pub aggressor_share: u32,
+    /// Victim label.
+    pub victim: String,
+    /// Congestion impact `C = Tc / Ti`.
+    pub impact: f64,
+}
+
+/// Options for the heatmap sweep (also reused by Figs. 10 and 11).
+#[derive(Clone, Debug)]
+pub struct HeatmapOpts {
+    /// Machine node count.
+    pub nodes: u32,
+    /// Placement policy.
+    pub policy: AllocationPolicy,
+    /// Aggressor processes per node.
+    pub aggressor_ppn: u32,
+    /// Victim iterations.
+    pub iters: u32,
+    /// Aggressor node shares in percent.
+    pub shares: Vec<u32>,
+    /// Victim set.
+    pub victims: Vec<Victim>,
+    /// Profiles to sweep.
+    pub profiles: Vec<Profile>,
+    /// Per-run event budget.
+    pub budget: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl HeatmapOpts {
+    /// The figure's configuration at a scale.
+    pub fn fig9(scale: Scale) -> Self {
+        HeatmapOpts {
+            nodes: scale.congestion_nodes(),
+            // The paper's Fig. 9 uses linear placement at 512 nodes; on
+            // scaled-down machines linear degenerates into perfect
+            // isolation (partition = whole groups), so sub-paper scales
+            // use interleaved to preserve the full-scale sharing
+            // structure (Fig. 10 compares policies explicitly).
+            policy: if scale == Scale::Paper {
+                AllocationPolicy::Linear
+            } else {
+                AllocationPolicy::Interleaved
+            },
+            aggressor_ppn: 1,
+            iters: scale.iterations(),
+            shares: match scale {
+                Scale::Tiny => vec![50, 90],
+                _ => vec![10, 50, 90],
+            },
+            victims: default_victims(scale),
+            profiles: vec![Profile::Aries, Profile::Slingshot],
+            budget: scale.event_budget(),
+            seed: 9,
+        }
+    }
+}
+
+/// Run the heatmap sweep.
+pub fn run(opts: &HeatmapOpts) -> Vec<HeatmapCell> {
+    let mut cells = Vec::new();
+    for &profile in &opts.profiles {
+        let profile_name = match profile {
+            Profile::Aries => "Aries",
+            Profile::Slingshot => "Slingshot",
+            Profile::SlingshotEcn => "Slingshot+ECN",
+        };
+        for &share in &opts.shares {
+            // The victim must span at least two switches (at paper scale
+            // a 10 % victim covers ~4 switches; keep that property when
+            // the machine is scaled down).
+            let eps = crate::congestion::machine_for(opts.nodes).endpoints_per_switch;
+            let victim_nodes = (opts.nodes - opts.nodes * share / 100).max(eps + 2);
+            // Isolated baselines are shared across aggressor patterns.
+            let mut isolated: HashMap<String, f64> = HashMap::new();
+            for &victim in &opts.victims {
+                let cell = Cell {
+                    profile,
+                    nodes: opts.nodes,
+                    victim_nodes,
+                    policy: opts.policy,
+                    aggressor: None,
+                    aggressor_ppn: opts.aggressor_ppn,
+                    seed: opts.seed,
+                };
+                let r = run_cell(&cell, victim, opts.iters, opts.budget);
+                isolated.insert(victim.label(), r.mean_secs);
+            }
+            for aggressor in [Congestor::AllToAll, Congestor::Incast] {
+                for &victim in &opts.victims {
+                    let cell = Cell {
+                        profile,
+                        nodes: opts.nodes,
+                        victim_nodes,
+                        policy: opts.policy,
+                        aggressor: Some(aggressor),
+                        aggressor_ppn: opts.aggressor_ppn,
+                        seed: opts.seed,
+                    };
+                    let r = run_cell(&cell, victim, opts.iters, opts.budget);
+                    let base = isolated[&victim.label()];
+                    cells.push(HeatmapCell {
+                        profile: profile_name,
+                        aggressor: aggressor.label(),
+                        aggressor_share: share,
+                        victim: victim.label(),
+                        impact: r.mean_secs / base,
+                    });
+                }
+            }
+        }
+    }
+    cells
+}
+
+/// Summary statistics over a set of heatmap cells (used by Fig. 10's
+/// distribution panels).
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct ImpactSummary {
+    /// Smallest impact.
+    pub min: f64,
+    /// Median impact.
+    pub median: f64,
+    /// Largest impact (the annotation on top of the paper's violins).
+    pub max: f64,
+    /// Cell count.
+    pub count: usize,
+}
+
+/// Summarize impacts.
+pub fn summarize(impacts: &[f64]) -> ImpactSummary {
+    let mut s = slingshot_stats::Sample::from_values(impacts.to_vec());
+    ImpactSummary {
+        min: s.min(),
+        median: s.median(),
+        max: s.max(),
+        count: s.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slingshot_workloads::Microbench;
+
+    /// A minimal heatmap that still shows the paper's headline contrast.
+    #[test]
+    fn heatmap_contrast_aries_vs_slingshot() {
+        let opts = HeatmapOpts {
+            nodes: 32,
+            policy: AllocationPolicy::Interleaved,
+            aggressor_ppn: 1,
+            iters: 4,
+            shares: vec![50],
+            victims: vec![
+                Victim::Micro(Microbench::Pingpong, 8),
+                Victim::Micro(Microbench::Allreduce, 8),
+            ],
+            profiles: vec![Profile::Aries, Profile::Slingshot],
+            budget: 500_000_000,
+            seed: 42,
+        };
+        let cells = run(&opts);
+        assert_eq!(cells.len(), 2 * 2 * 2); // profiles × aggressors × victims
+        let max_by = |profile: &str, aggr: &str| -> f64 {
+            cells
+                .iter()
+                .filter(|c| c.profile == profile && c.aggressor == aggr)
+                .map(|c| c.impact)
+                .fold(0.0, f64::max)
+        };
+        let aries_incast = max_by("Aries", "incast");
+        let ss_incast = max_by("Slingshot", "incast");
+        assert!(aries_incast > 2.0, "aries incast {aries_incast:.2}");
+        assert!(ss_incast < 2.0, "slingshot incast {ss_incast:.2}");
+        assert!(aries_incast > 2.0 * ss_incast);
+        // All-to-all (intermediate congestion) stays mild on Slingshot —
+        // adaptive routing spreads it.
+        let ss_a2a = max_by("Slingshot", "all-to-all");
+        assert!(ss_a2a < 2.5, "slingshot all-to-all {ss_a2a:.2}");
+    }
+
+    #[test]
+    fn summarize_basic() {
+        let s = summarize(&[1.0, 2.0, 10.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.max, 10.0);
+        assert_eq!(s.count, 3);
+    }
+}

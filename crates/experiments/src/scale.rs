@@ -1,0 +1,109 @@
+//! Experiment scale selection: quick (default) vs paper-scale runs.
+//!
+//! Every figure binary accepts `--paper` for the full node counts and
+//! iteration budgets of the paper (hours of single-core simulation) and
+//! `--tiny` for smoke tests; the default is a faithful-but-scaled run that
+//! completes in roughly a minute per figure.
+
+/// How big to run an experiment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Smoke test: the smallest configuration that still shows the effect.
+    Tiny,
+    /// Default: scaled-down systems, minutes of wall time.
+    Quick,
+    /// The paper's node counts and iteration budgets.
+    Paper,
+}
+
+impl Scale {
+    /// Parse from process args (`--tiny` / `--paper`, default quick).
+    pub fn from_args() -> Scale {
+        let mut scale = Scale::Quick;
+        for a in std::env::args().skip(1) {
+            match a.as_str() {
+                "--tiny" => scale = Scale::Tiny,
+                "--paper" => scale = Scale::Paper,
+                "--quick" => scale = Scale::Quick,
+                "--help" | "-h" => {
+                    eprintln!("options: --tiny | --quick (default) | --paper");
+                    std::process::exit(0);
+                }
+                other => eprintln!("ignoring unknown option {other}"),
+            }
+        }
+        scale
+    }
+
+    /// Number of nodes for the congestion experiments (paper: 512).
+    pub fn congestion_nodes(self) -> u32 {
+        match self {
+            Scale::Tiny => 32,
+            Scale::Quick => 64,
+            Scale::Paper => 512,
+        }
+    }
+
+    /// Victim iterations per measurement (paper: ≥ 200).
+    pub fn iterations(self) -> u32 {
+        match self {
+            Scale::Tiny => 3,
+            Scale::Quick => 8,
+            Scale::Paper => 200,
+        }
+    }
+
+    /// Tailbench request count (paper: thousands).
+    pub fn tail_requests(self) -> u32 {
+        match self {
+            Scale::Tiny => 3,
+            Scale::Quick => 12,
+            Scale::Paper => 200,
+        }
+    }
+
+    /// Dragonfly groups for Shandy-like systems (paper: 8 → 1024 nodes).
+    pub fn shandy_groups(self) -> u32 {
+        match self {
+            Scale::Tiny => 2,
+            Scale::Quick => 2,
+            Scale::Paper => 8,
+        }
+    }
+
+    /// Max event budget per single simulation run.
+    pub fn event_budget(self) -> u64 {
+        match self {
+            Scale::Tiny => 200_000_000,
+            Scale::Quick => 2_000_000_000,
+            Scale::Paper => 200_000_000_000,
+        }
+    }
+
+    /// Label for result files.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Quick => "quick",
+            Scale::Paper => "paper",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(Scale::Tiny.congestion_nodes() < Scale::Quick.congestion_nodes());
+        assert!(Scale::Quick.congestion_nodes() < Scale::Paper.congestion_nodes());
+        assert!(Scale::Tiny.iterations() < Scale::Paper.iterations());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Scale::Quick.label(), "quick");
+        assert_eq!(Scale::Paper.label(), "paper");
+    }
+}

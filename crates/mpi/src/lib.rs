@@ -1,0 +1,21 @@
+//! # slingshot-mpi
+//!
+//! MPI-like software stack on top of the Slingshot network simulator
+//! (paper §II-G): protocol-stack overhead models (verbs / libfabric / MPI /
+//! UDP / TCP, Fig. 5), jobs with processes-per-node rank mapping, per-rank
+//! operation scripts, MPICH-style collective expansions (with the paper's
+//! 256-byte all-to-all algorithm switch), and an execution engine that
+//! runs any number of concurrent jobs against the packet-level network.
+
+#![warn(missing_docs)]
+
+pub mod coll;
+mod engine;
+mod job;
+mod script;
+mod stack;
+
+pub use engine::{Engine, JobId, MarkRecord};
+pub use job::{Job, Rank};
+pub use script::{MpiOp, Script};
+pub use stack::ProtocolStack;

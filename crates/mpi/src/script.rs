@@ -1,0 +1,161 @@
+//! Rank programs: static per-rank operation sequences.
+//!
+//! Collectives and application skeletons are *expanded* at build time into
+//! per-rank scripts of point-to-point and compute operations (the approach
+//! of trace-driven network simulators such as SST/ember). The engine then
+//! executes every rank's script against the packet-level network.
+
+use crate::job::Rank;
+use slingshot_des::SimDuration;
+
+/// One operation in a rank's script.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MpiOp {
+    /// Two-sided send. Eager sends complete locally; rendezvous sends
+    /// (size above the stack threshold) block until acknowledged end to
+    /// end.
+    Send {
+        /// Destination rank (same job).
+        dst: Rank,
+        /// Payload bytes (≥ 1).
+        bytes: u64,
+        /// Matching tag.
+        tag: u32,
+    },
+    /// Blocking receive, matched on `(src, tag)`.
+    Recv {
+        /// Source rank.
+        src: Rank,
+        /// Matching tag.
+        tag: u32,
+    },
+    /// Combined send + receive (both in flight; completes when the receive
+    /// matches and a rendezvous send is acknowledged).
+    Sendrecv {
+        /// Destination of the outgoing message.
+        dst: Rank,
+        /// Source of the incoming message.
+        src: Rank,
+        /// Payload bytes of both messages.
+        bytes: u64,
+        /// Matching tag.
+        tag: u32,
+    },
+    /// One-sided put (no matching receive; used by the GPCNet incast
+    /// aggressor via `MPI_Put`).
+    Put {
+        /// Target rank.
+        dst: Rank,
+        /// Payload bytes.
+        bytes: u64,
+    },
+    /// Local computation for a fixed duration.
+    Compute(SimDuration),
+    /// Block until all of this rank's outstanding sends/puts are
+    /// acknowledged (RMA fence / flush).
+    Fence,
+    /// Record a timestamped marker (iteration boundaries for the
+    /// statistics harness).
+    Mark(u32),
+}
+
+/// A rank's program.
+#[derive(Clone, Debug, Default)]
+pub struct Script {
+    /// The operation sequence.
+    pub ops: Vec<MpiOp>,
+    /// When true the script restarts from `loop_start` after its last op —
+    /// used for aggressors that congest "during the entire victim
+    /// execution".
+    pub looping: bool,
+    /// First op of the loop body.
+    pub loop_start: usize,
+}
+
+impl Script {
+    /// An empty, non-looping script.
+    pub fn new() -> Self {
+        Script::default()
+    }
+
+    /// A script from a plain op list.
+    pub fn from_ops(ops: Vec<MpiOp>) -> Self {
+        Script {
+            ops,
+            looping: false,
+            loop_start: 0,
+        }
+    }
+
+    /// Make the whole script repeat forever.
+    pub fn repeat_forever(mut self) -> Self {
+        self.looping = true;
+        self
+    }
+
+    /// Append an op.
+    pub fn push(&mut self, op: MpiOp) {
+        self.ops.push(op);
+    }
+
+    /// Append all ops of another script.
+    pub fn extend(&mut self, other: &Script) {
+        self.ops.extend_from_slice(&other.ops);
+    }
+
+    /// Number of ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the script has no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Total payload bytes this rank sends per pass.
+    pub fn bytes_sent(&self) -> u64 {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                MpiOp::Send { bytes, .. }
+                | MpiOp::Sendrecv { bytes, .. }
+                | MpiOp::Put { bytes, .. } => *bytes,
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn script_building() {
+        let mut s = Script::new();
+        s.push(MpiOp::Send {
+            dst: 1,
+            bytes: 100,
+            tag: 0,
+        });
+        s.push(MpiOp::Recv { src: 1, tag: 0 });
+        s.push(MpiOp::Put { dst: 2, bytes: 50 });
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.bytes_sent(), 150);
+        assert!(!s.looping);
+        let s = s.repeat_forever();
+        assert!(s.looping);
+    }
+
+    #[test]
+    fn sendrecv_counts_once() {
+        let s = Script::from_ops(vec![MpiOp::Sendrecv {
+            dst: 1,
+            src: 2,
+            bytes: 10,
+            tag: 0,
+        }]);
+        assert_eq!(s.bytes_sent(), 10);
+    }
+}

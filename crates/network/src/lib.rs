@@ -1,0 +1,39 @@
+//! # slingshot-network
+//!
+//! The packet-level discrete-event simulator of the Slingshot interconnect:
+//! Rosetta switches with per-class virtual output queues and credit-based
+//! link-level flow control (finite input buffers → tree saturation when
+//! congestion control is absent), NICs with per-destination in-flight
+//! tracking and pluggable congestion control, UGAL-style adaptive routing
+//! over the dragonfly topology, and QoS scheduling on every output port.
+//!
+//! ## Example
+//!
+//! ```
+//! use slingshot_network::{Network, NetworkConfig, Notification};
+//! use slingshot_topology::{tiny, NodeId};
+//!
+//! let mut net = Network::new(NetworkConfig::slingshot(tiny()));
+//! net.send(NodeId(0), NodeId(12), 4096, 0, 7);
+//! net.run_to_quiescence(100_000);
+//! let delivered = net
+//!     .take_notifications()
+//!     .into_iter()
+//!     .filter(|n| matches!(n, Notification::Delivered { .. }))
+//!     .count();
+//! assert_eq!(delivered, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+mod network;
+mod nic;
+mod packet;
+mod switch;
+
+pub use config::{CcConfig, NetworkConfig};
+pub use network::{NetStats, Network};
+pub use nic::{CcEngine, Nic};
+pub use packet::{InSource, MessageId, Notification, Packet};
+pub use switch::{OutPort, PortKind, Switch};

@@ -1,0 +1,721 @@
+//! The assembled packet-level network simulator.
+
+use crate::config::NetworkConfig;
+use crate::nic::{CcEngine, Nic};
+use crate::packet::{InSource, MessageId, MessageState, Notification, Packet};
+use crate::switch::{vc_of, OutPort, PortKind, Switch, NUM_VCS};
+use slingshot_congestion::{AckFeedback, CongestionControl};
+use slingshot_des::{DetRng, EventQueue, SimDuration, SimTime};
+use slingshot_ethernet::{message_wire_bytes, MAX_PAYLOAD};
+use slingshot_qos::QosScheduler;
+use slingshot_routing::{CongestionView, RouteState, Router, Via};
+use slingshot_topology::{ChannelId, Dragonfly, NodeId};
+use std::collections::VecDeque;
+
+/// Simulator events.
+enum Event {
+    /// The injection link finished serializing a packet.
+    NicTxDone { node: u32, pkt: Packet },
+    /// A packet arrived at a switch (input buffer already reserved by the
+    /// sender-side credit).
+    ArriveSwitch { sw: u32, pkt: Packet },
+    /// A packet finished crossing the switch fabric and joins an output
+    /// queue.
+    EnqueueOut { sw: u32, port: u32, pkt: Packet },
+    /// An output port finished serializing a packet.
+    TxDone { sw: u32, port: u32, pkt: Packet },
+    /// A link-level credit returns to the sender side.
+    CreditReturn {
+        target: CreditTarget,
+        tc: u8,
+        vc: u8,
+        bytes: u32,
+    },
+    /// A packet fully arrived at its destination node.
+    ArriveNic { pkt: Packet },
+    /// An end-to-end ack reached the source NIC.
+    AckArrive {
+        src: u32,
+        dst: u32,
+        wire: u32,
+        msg: MessageId,
+        congested: bool,
+        depth: u64,
+    },
+    /// A node-local message completed its loopback.
+    Loopback { msg: MessageId },
+    /// A user timer fired.
+    Wakeup { token: u64 },
+}
+
+/// Where a returning credit is consumed.
+enum CreditTarget {
+    /// A switch output port (sender side of a channel).
+    Port { sw: u32, port: u32 },
+    /// A NIC (sender side of an injection link).
+    Nic(u32),
+}
+
+/// Congestion view over the live port state (what the adaptive routing
+/// pipeline reads from the request-queue credit plane).
+struct LoadView<'a> {
+    switches: &'a [Switch],
+    chan_port: &'a [(u32, u32)],
+}
+
+impl CongestionView for LoadView<'_> {
+    fn channel_load(&self, ch: ChannelId) -> u64 {
+        let (sw, port) = self.chan_port[ch.index()];
+        self.switches[sw as usize].ports[port as usize].load_estimate()
+    }
+}
+
+/// Aggregate simulator statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NetStats {
+    /// Packets delivered to endpoints.
+    pub packets_delivered: u64,
+    /// Messages delivered.
+    pub messages_delivered: u64,
+    /// Packets that took a non-minimal route.
+    pub nonminimal_packets: u64,
+    /// Total payload bytes delivered.
+    pub payload_delivered: u64,
+}
+
+/// The packet-level network simulator.
+///
+/// Drive it by submitting messages with [`Network::send`], stepping events
+/// with [`Network::step`] / [`Network::run_until`], and draining
+/// [`Notification`]s.
+pub struct Network {
+    cfg: NetworkConfig,
+    topo: Dragonfly,
+    queue: EventQueue<Event>,
+    rng: DetRng,
+    switches: Vec<Switch>,
+    nics: Vec<Nic>,
+    messages: Vec<MessageState>,
+    /// ChannelId → (switch index, port index) of the sending port.
+    chan_port: Vec<(u32, u32)>,
+    /// NodeId → (switch index, port index) of the ejection port.
+    eject_port: Vec<(u32, u32)>,
+    notifications: Vec<Notification>,
+    delivered_payload: Vec<u64>,
+    packet_latency: Option<slingshot_stats::Sample>,
+    n_tc: usize,
+    stats: NetStats,
+}
+
+impl Network {
+    /// Build a network from its configuration.
+    pub fn new(cfg: NetworkConfig) -> Self {
+        cfg.topology
+            .validate()
+            .expect("invalid topology parameters");
+        let topo = cfg.topology.build();
+        let n_tc = cfg.traffic_classes.len();
+        let n_nodes = topo.node_count() as usize;
+        let n_switches = topo.switch_count() as usize;
+
+        let mut chan_port = vec![(u32::MAX, u32::MAX); topo.channels().len()];
+        let mut eject_port = vec![(u32::MAX, u32::MAX); n_nodes];
+        let mut switches = Vec::with_capacity(n_switches);
+        let buffer_per_class = cfg.buffer_per_class();
+        let link_bps = cfg.link_bytes_per_sec();
+        let inj_bps = cfg.injection_bytes_per_sec();
+
+        for sw in 0..n_switches as u32 {
+            let mut ports = Vec::new();
+            for ch in topo.channels() {
+                if ch.from.0 == sw {
+                    chan_port[ch.id.index()] = (sw, ports.len() as u32);
+                    ports.push(OutPort {
+                        kind: PortKind::Channel(ch.id),
+                        queues: vec![VecDeque::new(); n_tc * NUM_VCS],
+                        queued_wire: 0,
+                        busy: false,
+                        outstanding: vec![0; n_tc * NUM_VCS],
+                        pool: buffer_per_class,
+                        rate_bps: link_bps,
+                        prop: SimDuration::from_ns_f64(ch.class.propagation_ns()),
+                        sched: (n_tc > 1)
+                            .then(|| QosScheduler::new(cfg.traffic_classes.clone(), link_bps)),
+                        tx_wire_bytes: 0,
+                    });
+                }
+            }
+            for node in topo.nodes_of_switch(slingshot_topology::SwitchId(sw)) {
+                eject_port[node.index()] = (sw, ports.len() as u32);
+                ports.push(OutPort {
+                    kind: PortKind::Eject(node),
+                    queues: vec![VecDeque::new(); n_tc * NUM_VCS],
+                    queued_wire: 0,
+                    busy: false,
+                    outstanding: vec![0; n_tc * NUM_VCS],
+                    pool: 0, // ejection: the node always drains
+
+                    rate_bps: inj_bps,
+                    prop: SimDuration::from_ns_f64(
+                        slingshot_topology::LinkClass::EdgeCopper.propagation_ns(),
+                    ),
+                    sched: (n_tc > 1)
+                        .then(|| QosScheduler::new(cfg.traffic_classes.clone(), inj_bps)),
+                    tx_wire_bytes: 0,
+                });
+            }
+            switches.push(Switch { ports });
+        }
+
+        let rng = DetRng::seed_from(cfg.seed);
+        let nics = (0..n_nodes as u32)
+            .map(|n| Nic {
+                node: NodeId(n),
+                active: VecDeque::new(),
+                busy: false,
+                credits: vec![buffer_per_class; n_tc],
+                in_flight: std::collections::HashMap::new(),
+                cc: CcEngine::from_config(&cfg.cc),
+                rate_bps: inj_bps,
+                prop: SimDuration::from_ns_f64(
+                    slingshot_topology::LinkClass::EdgeCopper.propagation_ns(),
+                ),
+            })
+            .collect();
+
+        Network {
+            cfg,
+            topo,
+            queue: EventQueue::with_capacity(4096),
+            rng,
+            switches,
+            nics,
+            messages: Vec::new(),
+            chan_port,
+            eject_port,
+            notifications: Vec::new(),
+            delivered_payload: vec![0; n_nodes],
+            packet_latency: None,
+            n_tc,
+            stats: NetStats::default(),
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Number of endpoints.
+    pub fn node_count(&self) -> u32 {
+        self.topo.node_count()
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Dragonfly {
+        &self.topo
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.cfg
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// Total events processed.
+    pub fn events_processed(&self) -> u64 {
+        self.queue.events_processed()
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Payload bytes delivered to `node` so far.
+    pub fn delivered_payload(&self, node: NodeId) -> u64 {
+        self.delivered_payload[node.index()]
+    }
+
+    /// Current congestion-control window from `src` toward `dst` (tests /
+    /// observability).
+    pub fn cc_window(&self, src: NodeId, dst: NodeId) -> u64 {
+        self.nics[src.index()].cc.window(dst.0)
+    }
+
+    /// Wire bytes transmitted on a channel so far (utilization analysis).
+    pub fn channel_tx_bytes(&self, ch: ChannelId) -> u64 {
+        let (sw, port) = self.chan_port[ch.index()];
+        self.switches[sw as usize].ports[port as usize].tx_wire_bytes
+    }
+
+    /// Mean utilization of a channel over `[0, now]`, in `[0, 1]`.
+    pub fn channel_utilization(&self, ch: ChannelId) -> f64 {
+        let now_s = self.now().as_secs_f64();
+        if now_s <= 0.0 {
+            return 0.0;
+        }
+        let (sw, port) = self.chan_port[ch.index()];
+        let p = &self.switches[sw as usize].ports[port as usize];
+        (p.tx_wire_bytes as f64 / p.rate_bps) / now_s
+    }
+
+    /// Enable per-packet one-way latency sampling (delivered packets only).
+    pub fn enable_latency_sampling(&mut self) {
+        if self.packet_latency.is_none() {
+            self.packet_latency = Some(slingshot_stats::Sample::new());
+        }
+    }
+
+    /// Take the collected per-packet latency sample (empty if sampling was
+    /// never enabled).
+    pub fn take_latency_sample(&mut self) -> slingshot_stats::Sample {
+        self.packet_latency.take().unwrap_or_default()
+    }
+
+    /// Submit a message of `bytes` payload bytes (≥ 1) from `src` to `dst`
+    /// in traffic class `tc`. `tag` is returned in the delivery
+    /// notification.
+    pub fn send(&mut self, src: NodeId, dst: NodeId, bytes: u64, tc: usize, tag: u64) -> MessageId {
+        assert!(bytes >= 1, "zero-byte messages are not supported");
+        assert!(tc < self.n_tc, "traffic class {tc} out of range");
+        assert!(src.0 < self.node_count() && dst.0 < self.node_count());
+        let id = MessageId(self.messages.len() as u64);
+        let now = self.now();
+        let unacked = if src == dst {
+            0
+        } else {
+            message_wire_bytes(bytes, self.cfg.frame, self.cfg.stack)
+        };
+        self.messages.push(MessageState {
+            src,
+            dst,
+            bytes,
+            tc: tc as u8,
+            tag,
+            submitted_at: now,
+            remaining_to_inject: bytes,
+            remaining_to_deliver: bytes,
+            unacked_wire: unacked,
+            fully_injected: src == dst,
+        });
+        if src == dst {
+            // Loopback: memory copy at injection rate plus a fixed cost.
+            let dur = self.cfg.loopback_latency
+                + SimDuration::from_secs_f64(bytes as f64 / self.nics[src.index()].rate_bps);
+            self.queue.push(now + dur, Event::Loopback { msg: id });
+        } else {
+            self.nics[src.index()].active.push_back(id);
+            self.try_inject(src.0, now);
+        }
+        id
+    }
+
+    /// Schedule a wakeup notification at `at`.
+    pub fn schedule_wakeup(&mut self, at: SimTime, token: u64) {
+        assert!(at >= self.now(), "wakeup in the past");
+        self.queue.push(at, Event::Wakeup { token });
+    }
+
+    /// Drain pending notifications.
+    pub fn take_notifications(&mut self) -> Vec<Notification> {
+        std::mem::take(&mut self.notifications)
+    }
+
+    /// Whether notifications are pending.
+    pub fn has_notifications(&self) -> bool {
+        !self.notifications.is_empty()
+    }
+
+    /// Process one event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some((now, ev)) = self.queue.pop() else {
+            return false;
+        };
+        self.dispatch(now, ev);
+        true
+    }
+
+    /// Run until simulated time `t` (events at exactly `t` are processed).
+    pub fn run_until(&mut self, t: SimTime) {
+        while let Some(next) = self.queue.peek_time() {
+            if next > t {
+                break;
+            }
+            self.step();
+        }
+    }
+
+    /// Run until no events remain; returns the final time. Panics after
+    /// `max_events` to catch livelock in tests.
+    pub fn run_to_quiescence(&mut self, max_events: u64) -> SimTime {
+        let start = self.queue.events_processed();
+        while self.step() {
+            if self.queue.events_processed() - start > max_events {
+                panic!("simulation exceeded {max_events} events without quiescing");
+            }
+        }
+        self.now()
+    }
+
+    /// Run until at least one notification is pending or the queue drains.
+    pub fn run_until_notified(&mut self) -> bool {
+        while self.notifications.is_empty() {
+            if !self.step() {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn dispatch(&mut self, now: SimTime, ev: Event) {
+        match ev {
+            Event::NicTxDone { node, pkt } => self.nic_tx_done(node, pkt, now),
+            Event::ArriveSwitch { sw, pkt } => self.arrive_switch(sw, pkt, now),
+            Event::EnqueueOut { sw, port, pkt } => self.enqueue_out(sw, port, pkt, now),
+            Event::TxDone { sw, port, pkt } => self.tx_done(sw, port, pkt, now),
+            Event::CreditReturn {
+                target,
+                tc,
+                vc,
+                bytes,
+            } => self.credit_return(target, tc, vc, bytes, now),
+            Event::ArriveNic { pkt } => self.arrive_nic(pkt, now),
+            Event::AckArrive {
+                src,
+                dst,
+                wire,
+                msg,
+                congested,
+                depth,
+            } => self.ack_arrive(src, dst, wire, msg, congested, depth, now),
+            Event::Loopback { msg } => self.loopback(msg, now),
+            Event::Wakeup { token } => {
+                self.notifications.push(Notification::Wakeup { token, at: now });
+            }
+        }
+    }
+
+    /// Try to launch the next eligible packet from `node`'s NIC.
+    fn try_inject(&mut self, node: u32, now: SimTime) {
+        let nic = &mut self.nics[node as usize];
+        if nic.busy || nic.active.is_empty() {
+            return;
+        }
+        for _ in 0..nic.active.len() {
+            let msg_id = *nic.active.front().expect("checked non-empty");
+            let st = &self.messages[msg_id.0 as usize];
+            let payload = st.remaining_to_inject.min(MAX_PAYLOAD as u64) as u32;
+            let wire = self.cfg.frame.wire_bytes(payload, self.cfg.stack);
+            let dst = st.dst;
+            let tc = st.tc;
+            let in_flight = nic.in_flight_to(dst);
+            let cc_ok = nic.cc.may_send(dst.0, in_flight, wire as u64, now);
+            let credit_ok = nic.credits[tc as usize] >= wire as u64;
+            if cc_ok && credit_ok {
+                nic.busy = true;
+                nic.credits[tc as usize] -= wire as u64;
+                nic.add_in_flight(dst, wire);
+                let st = &mut self.messages[msg_id.0 as usize];
+                st.remaining_to_inject -= payload as u64;
+                if st.remaining_to_inject == 0 {
+                    st.fully_injected = true;
+                    nic.active.pop_front();
+                } else {
+                    nic.active.rotate_left(1);
+                }
+                let pkt = Packet {
+                    msg: msg_id,
+                    src: NodeId(node),
+                    dst,
+                    payload,
+                    wire,
+                    tc,
+                    routed: false,
+                    route: RouteState::new(self.topo.switch_of_node(dst), Via::Direct),
+                    cur_source: InSource::Node(NodeId(node)),
+                    path_delay: SimDuration::ZERO,
+                    ep_depth: 0,
+                    born: now,
+                };
+                let ser = nic.serialization(wire);
+                self.queue.push(now + ser, Event::NicTxDone { node, pkt });
+                return;
+            }
+            nic.active.rotate_left(1);
+        }
+    }
+
+    fn nic_tx_done(&mut self, node: u32, mut pkt: Packet, now: SimTime) {
+        let nic = &mut self.nics[node as usize];
+        nic.busy = false;
+        let prop = nic.prop;
+        pkt.path_delay += prop;
+        let sw = self.topo.switch_of_node(NodeId(node)).0;
+        self.queue.push(now + prop, Event::ArriveSwitch { sw, pkt });
+        self.try_inject(node, now);
+    }
+
+    fn arrive_switch(&mut self, sw: u32, mut pkt: Packet, now: SimTime) {
+        // Routing decisions read the live load view; split borrows keep the
+        // router's view disjoint from the RNG and packet.
+        let router = Router::new(&self.topo, self.cfg.routing, self.cfg.adaptive);
+        let view = LoadView {
+            switches: &self.switches,
+            chan_port: &self.chan_port,
+        };
+        let cur = slingshot_topology::SwitchId(sw);
+        if !pkt.routed {
+            let dst_sw = self.topo.switch_of_node(pkt.dst);
+            pkt.route = router.decide(cur, dst_sw, &view, &mut self.rng);
+            pkt.routed = true;
+            if pkt.route.is_nonminimal() {
+                self.stats.nonminimal_packets += 1;
+            }
+        }
+        let choice = router.next_channel(cur, &mut pkt.route, &view, &mut self.rng);
+        let (port_sw, port_idx) = match choice {
+            Some(ch) => self.chan_port[ch.index()],
+            None => self.eject_port[pkt.dst.index()],
+        };
+        debug_assert_eq!(port_sw, sw, "next hop not on this switch");
+        // Fabric traversal latency (tile geometry + arbitration jitter).
+        let in_p = self.rng.below(64) as u8;
+        let out_p = self.rng.below(64) as u8;
+        let lat = self.cfg.switch_latency.sample(&mut self.rng, in_p, out_p);
+        pkt.path_delay += lat;
+        self.queue.push(
+            now + lat,
+            Event::EnqueueOut {
+                sw,
+                port: port_idx,
+                pkt,
+            },
+        );
+    }
+
+    fn enqueue_out(&mut self, sw: u32, port: u32, mut pkt: Packet, now: SimTime) {
+        let p = &mut self.switches[sw as usize].ports[port as usize];
+        if matches!(p.kind, PortKind::Eject(_)) {
+            // The endpoint-congestion signal: ejection-queue depth at
+            // enqueue time, carried home in the ack.
+            pkt.ep_depth = p.queued_wire;
+        }
+        p.enqueue(pkt);
+        self.try_start_tx(sw, port, now);
+    }
+
+    fn try_start_tx(&mut self, sw: u32, port: u32, now: SimTime) {
+        let p = &mut self.switches[sw as usize].ports[port as usize];
+        if p.busy || !p.has_backlog() {
+            return;
+        }
+        let Some((tc, vc)) = p.pick(now) else {
+            return; // waiting for credits
+        };
+        let pkt = p.take(tc, vc, now);
+        p.busy = true;
+        let ser = p.serialization(pkt.wire);
+        self.queue.push(now + ser, Event::TxDone { sw, port, pkt });
+    }
+
+    fn tx_done(&mut self, sw: u32, port: u32, mut pkt: Packet, now: SimTime) {
+        let (kind, prop) = {
+            let p = &mut self.switches[sw as usize].ports[port as usize];
+            p.busy = false;
+            (p.kind, p.prop)
+        };
+        // Return the input-buffer credit for the source this packet arrived
+        // from (it has now left this switch).
+        // The upstream sender consumed its credit at the packet's VC as of
+        // the previous crossing: one less hop than the packet carries now.
+        let credit_target = match pkt.cur_source {
+            InSource::Channel(in_ch) => {
+                let (up_sw, up_port) = self.chan_port[in_ch.index()];
+                let up_prop = self.switches[up_sw as usize].ports[up_port as usize].prop;
+                let up_vc = vc_of(pkt.route.hops.saturating_sub(1)) as u8;
+                Some((
+                    CreditTarget::Port {
+                        sw: up_sw,
+                        port: up_port,
+                    },
+                    up_vc,
+                    up_prop,
+                ))
+            }
+            InSource::Node(n) => {
+                let up_prop = self.nics[n.index()].prop;
+                Some((CreditTarget::Nic(n.0), 0, up_prop))
+            }
+        };
+        if let Some((target, vc, up_prop)) = credit_target {
+            self.queue.push(
+                now + up_prop,
+                Event::CreditReturn {
+                    target,
+                    tc: pkt.tc,
+                    vc,
+                    bytes: pkt.wire,
+                },
+            );
+        }
+        match kind {
+            PortKind::Channel(ch) => {
+                let to = self.topo.channel(ch).to.0;
+                pkt.cur_source = InSource::Channel(ch);
+                pkt.route.hops += 1;
+                pkt.path_delay += prop;
+                self.queue.push(now + prop, Event::ArriveSwitch { sw: to, pkt });
+            }
+            PortKind::Eject(_) => {
+                pkt.path_delay += prop;
+                self.queue.push(now + prop, Event::ArriveNic { pkt });
+            }
+        }
+        self.try_start_tx(sw, port, now);
+    }
+
+    fn credit_return(&mut self, target: CreditTarget, tc: u8, vc: u8, bytes: u32, now: SimTime) {
+        match target {
+            CreditTarget::Port { sw, port } => {
+                let p = &mut self.switches[sw as usize].ports[port as usize];
+                p.credit_return(tc as usize, vc as usize, bytes);
+                self.try_start_tx(sw, port, now);
+            }
+            CreditTarget::Nic(node) => {
+                let nic = &mut self.nics[node as usize];
+                nic.credits[tc as usize] += bytes as u64;
+                debug_assert!(
+                    nic.credits[tc as usize] <= self.cfg.buffer_per_class(),
+                    "NIC credit overflow"
+                );
+                self.try_inject(node, now);
+            }
+        }
+    }
+
+    fn arrive_nic(&mut self, pkt: Packet, now: SimTime) {
+        if let Some(sample) = &mut self.packet_latency {
+            sample.push(now.since(pkt.born).as_ns_f64());
+        }
+        self.stats.packets_delivered += 1;
+        self.stats.payload_delivered += pkt.payload as u64;
+        self.delivered_payload[pkt.dst.index()] += pkt.payload as u64;
+        let st = &mut self.messages[pkt.msg.0 as usize];
+        debug_assert!(st.remaining_to_deliver >= pkt.payload as u64);
+        st.remaining_to_deliver -= pkt.payload as u64;
+        if st.remaining_to_deliver == 0 {
+            self.stats.messages_delivered += 1;
+            self.notifications.push(Notification::Delivered {
+                msg: pkt.msg,
+                src: st.src,
+                dst: st.dst,
+                bytes: st.bytes,
+                tag: st.tag,
+                submitted_at: st.submitted_at,
+                delivered_at: now,
+            });
+        }
+        // End-to-end ack on the dedicated ack plane: queue-free return.
+        let congested = pkt.ep_depth >= self.cfg.ep_congestion_threshold;
+        let delay = pkt.path_delay + self.cfg.ack_overhead;
+        self.queue.push(
+            now + delay,
+            Event::AckArrive {
+                src: pkt.src.0,
+                dst: pkt.dst.0,
+                wire: pkt.wire,
+                msg: pkt.msg,
+                congested,
+                depth: pkt.ep_depth,
+            },
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn ack_arrive(
+        &mut self,
+        src: u32,
+        dst: u32,
+        wire: u32,
+        msg: MessageId,
+        congested: bool,
+        depth: u64,
+        now: SimTime,
+    ) {
+        let nic = &mut self.nics[src as usize];
+        nic.sub_in_flight(NodeId(dst), wire);
+        nic.cc.on_ack(
+            dst,
+            AckFeedback {
+                endpoint_congested: congested,
+                ejection_queue_bytes: depth,
+            },
+            now,
+        );
+        let st = &mut self.messages[msg.0 as usize];
+        debug_assert!(st.unacked_wire >= wire as u64);
+        st.unacked_wire -= wire as u64;
+        if st.unacked_wire == 0 && st.fully_injected {
+            self.notifications.push(Notification::SendAcked { msg, at: now });
+        }
+        self.try_inject(src, now);
+    }
+
+    fn loopback(&mut self, msg: MessageId, now: SimTime) {
+        let st = &mut self.messages[msg.0 as usize];
+        st.remaining_to_inject = 0;
+        st.remaining_to_deliver = 0;
+        self.stats.messages_delivered += 1;
+        self.stats.payload_delivered += st.bytes;
+        self.delivered_payload[st.dst.index()] += st.bytes;
+        self.notifications.push(Notification::Delivered {
+            msg,
+            src: st.src,
+            dst: st.dst,
+            bytes: st.bytes,
+            tag: st.tag,
+            submitted_at: st.submitted_at,
+            delivered_at: now,
+        });
+        self.notifications.push(Notification::SendAcked { msg, at: now });
+    }
+
+    /// Test/diagnostic helper: verify every buffer is empty and every
+    /// credit restored (call after quiescence).
+    pub fn assert_quiescent_invariants(&self) {
+        for (si, sw) in self.switches.iter().enumerate() {
+            for (pi, p) in sw.ports.iter().enumerate() {
+                assert!(!p.busy, "switch {si} port {pi} still busy");
+                assert_eq!(p.queued_wire, 0, "switch {si} port {pi} has backlog");
+                if matches!(p.kind, PortKind::Channel(_)) {
+                    for (q, &o) in p.outstanding.iter().enumerate() {
+                        assert_eq!(
+                            o, 0,
+                            "switch {si} port {pi} queue {q}: outstanding bytes not credited"
+                        );
+                    }
+                }
+            }
+        }
+        for (ni, nic) in self.nics.iter().enumerate() {
+            assert!(!nic.busy, "nic {ni} still busy");
+            assert!(nic.in_flight.is_empty(), "nic {ni} has in-flight bytes");
+            assert!(nic.active.is_empty(), "nic {ni} has active messages");
+            for (tc, &c) in nic.credits.iter().enumerate() {
+                assert_eq!(
+                    c,
+                    self.cfg.buffer_per_class(),
+                    "nic {ni} tc {tc}: credits not restored"
+                );
+            }
+        }
+        for (mi, m) in self.messages.iter().enumerate() {
+            assert_eq!(m.remaining_to_deliver, 0, "message {mi} undelivered");
+        }
+    }
+}

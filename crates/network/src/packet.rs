@@ -1,0 +1,126 @@
+//! Packets, messages, and simulator notifications.
+
+use slingshot_des::{SimDuration, SimTime};
+use slingshot_routing::RouteState;
+use slingshot_topology::{ChannelId, NodeId};
+
+/// Identifier of a message submitted to the network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MessageId(pub u64);
+
+/// Where a packet entered the switch it currently sits in (needed to return
+/// the input-buffer credit when it departs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InSource {
+    /// Arrived over a switch-to-switch channel.
+    Channel(ChannelId),
+    /// Injected by a locally attached node.
+    Node(NodeId),
+}
+
+/// One packet in flight.
+#[derive(Clone, Copy, Debug)]
+pub struct Packet {
+    /// Owning message.
+    pub msg: MessageId,
+    /// Source endpoint.
+    pub src: NodeId,
+    /// Destination endpoint.
+    pub dst: NodeId,
+    /// Payload bytes carried.
+    pub payload: u32,
+    /// Bytes on the wire (headers, padding, gap).
+    pub wire: u32,
+    /// Traffic-class index.
+    pub tc: u8,
+    /// Whether the source-switch routing decision has been made.
+    pub routed: bool,
+    /// Adaptive-routing state.
+    pub route: RouteState,
+    /// Where this packet entered its current switch.
+    pub cur_source: InSource,
+    /// Accumulated queue-free one-way delay (propagation + switch
+    /// traversals); reused to time the returning ack on the separate ack
+    /// plane.
+    pub path_delay: SimDuration,
+    /// Ejection-queue depth observed at the last hop (endpoint-congestion
+    /// signal carried home by the ack).
+    pub ep_depth: u64,
+    /// When the NIC started serializing this packet.
+    pub born: SimTime,
+}
+
+/// A notification surfaced to the software layer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Notification {
+    /// A message fully arrived at its destination.
+    Delivered {
+        /// The message.
+        msg: MessageId,
+        /// Source endpoint.
+        src: NodeId,
+        /// Destination endpoint.
+        dst: NodeId,
+        /// Message size in payload bytes.
+        bytes: u64,
+        /// Caller-supplied tag.
+        tag: u64,
+        /// When the message was submitted at the source.
+        submitted_at: SimTime,
+        /// When the last byte arrived.
+        delivered_at: SimTime,
+    },
+    /// Every packet of a message has been acknowledged back at the source
+    /// (sender-side completion).
+    SendAcked {
+        /// The message.
+        msg: MessageId,
+        /// When the final ack arrived.
+        at: SimTime,
+    },
+    /// A timer scheduled with `schedule_wakeup` fired.
+    Wakeup {
+        /// Caller-supplied token.
+        token: u64,
+        /// Firing time.
+        at: SimTime,
+    },
+}
+
+/// Internal per-message bookkeeping.
+#[derive(Clone, Debug)]
+pub(crate) struct MessageState {
+    pub src: NodeId,
+    pub dst: NodeId,
+    pub bytes: u64,
+    pub tc: u8,
+    pub tag: u64,
+    pub submitted_at: SimTime,
+    /// Payload bytes not yet handed to the NIC serializer.
+    pub remaining_to_inject: u64,
+    /// Payload bytes not yet arrived at the destination.
+    pub remaining_to_deliver: u64,
+    /// Wire bytes not yet acknowledged.
+    pub unacked_wire: u64,
+    /// Set when every packet has been injected (message leaves the NIC's
+    /// active rotation).
+    pub fully_injected: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_compare() {
+        assert!(MessageId(1) < MessageId(2));
+        assert_eq!(MessageId(3), MessageId(3));
+    }
+
+    #[test]
+    fn in_source_variants() {
+        let a = InSource::Channel(ChannelId(4));
+        let b = InSource::Node(NodeId(4));
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,167 @@
+//! Rosetta tile geometry (paper §II-A, Fig. 1).
+//!
+//! The 64-port crossbar is built from 32 tiles arranged in 4 rows × 8
+//! columns, two ports per tile. Tiles on a row share 16 per-row buses (one
+//! per port); tiles on a column share dedicated channels with per-tile 16:8
+//! crossbars. A packet entering on one port and leaving on another crosses
+//! at most two internal hops: along its input row bus to the column of the
+//! output tile, then down the column channel.
+
+/// Ports per Rosetta switch.
+pub const PORTS: u8 = 64;
+/// Tile rows.
+pub const ROWS: u8 = 4;
+/// Tile columns.
+pub const COLS: u8 = 8;
+/// Ports handled by each tile.
+pub const PORTS_PER_TILE: u8 = 2;
+/// Number of tiles.
+pub const TILES: u8 = ROWS * COLS;
+/// Row-bus inputs feeding each per-tile column crossbar (16 ports per row).
+pub const XBAR_INPUTS: u8 = 16;
+/// Column-channel outputs of each per-tile crossbar (8 ports per column).
+pub const XBAR_OUTPUTS: u8 = 8;
+
+/// A tile position in the 4 × 8 grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Tile {
+    /// Row index, 0..4.
+    pub row: u8,
+    /// Column index, 0..8.
+    pub col: u8,
+}
+
+impl Tile {
+    /// Tile handling a given port.
+    ///
+    /// Ports are assigned two per tile in row-major order: tile
+    /// `port / 2` sits at row `tile / 8`, column `tile % 8`.
+    pub fn of_port(port: u8) -> Tile {
+        assert!(port < PORTS, "port {port} out of range");
+        let tile = port / PORTS_PER_TILE;
+        Tile {
+            row: tile / COLS,
+            col: tile % COLS,
+        }
+    }
+
+    /// Linear tile index.
+    pub fn index(self) -> u8 {
+        self.row * COLS + self.col
+    }
+
+    /// The two ports handled by this tile.
+    pub fn ports(self) -> [u8; 2] {
+        let base = self.index() * PORTS_PER_TILE;
+        [base, base + 1]
+    }
+}
+
+/// The internal route of a packet through the tile fabric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InternalRoute {
+    /// Tile of the input port.
+    pub in_tile: Tile,
+    /// Tile of the output port.
+    pub out_tile: Tile,
+    /// Row-bus hop needed (input column ≠ output column).
+    pub row_hop: bool,
+    /// Column-channel hop needed (input row ≠ output row).
+    pub col_hop: bool,
+}
+
+/// Compute the internal route from `in_port` to `out_port`.
+///
+/// Per Fig. 1 the packet travels on the input port's row bus to the tile in
+/// the same row as the input and the same *column* as the output tile, then
+/// through that tile's 16:8 crossbar down a column channel to the output
+/// tile.
+pub fn internal_route(in_port: u8, out_port: u8) -> InternalRoute {
+    let in_tile = Tile::of_port(in_port);
+    let out_tile = Tile::of_port(out_port);
+    InternalRoute {
+        in_tile,
+        out_tile,
+        row_hop: in_tile.col != out_tile.col,
+        col_hop: in_tile.row != out_tile.row,
+    }
+}
+
+/// Number of internal hops (0–2) for a port pair; the paper: "packets are
+/// routed to the destination tile through two hops maximum".
+pub fn internal_hops(in_port: u8, out_port: u8) -> u8 {
+    let r = internal_route(in_port, out_port);
+    r.row_hop as u8 + r.col_hop as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_dimensions() {
+        assert_eq!(TILES, 32);
+        assert_eq!(u16::from(PORTS), u16::from(TILES) * u16::from(PORTS_PER_TILE));
+        assert_eq!(XBAR_INPUTS, PORTS_PER_TILE * COLS); // 16 ports per row
+        assert_eq!(XBAR_OUTPUTS, PORTS_PER_TILE * ROWS); // 8 ports per column
+    }
+
+    #[test]
+    fn port_tile_mapping_covers_all_ports() {
+        for t in 0..TILES {
+            let tile = Tile {
+                row: t / COLS,
+                col: t % COLS,
+            };
+            for p in tile.ports() {
+                assert_eq!(Tile::of_port(p), tile, "port {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example_port19_to_port56() {
+        // Fig. 1: a packet from port 19 to port 56 takes the row bus, a
+        // 16:8 crossbar, and a column channel — two internal hops.
+        assert_eq!(internal_hops(19, 56), 2);
+        let r = internal_route(19, 56);
+        assert!(r.row_hop && r.col_hop);
+    }
+
+    #[test]
+    fn same_tile_needs_no_hops() {
+        assert_eq!(internal_hops(0, 1), 0);
+        assert_eq!(internal_hops(63, 62), 0);
+    }
+
+    #[test]
+    fn same_row_needs_only_row_bus() {
+        // Ports 0 and 2: tiles (0,0) and (0,1).
+        let r = internal_route(0, 2);
+        assert!(r.row_hop && !r.col_hop);
+        assert_eq!(internal_hops(0, 2), 1);
+    }
+
+    #[test]
+    fn same_column_needs_only_column_channel() {
+        // Tile (0,0) ports 0/1; tile (1,0) ports 16/17.
+        let r = internal_route(0, 16);
+        assert!(!r.row_hop && r.col_hop);
+        assert_eq!(internal_hops(0, 16), 1);
+    }
+
+    #[test]
+    fn max_two_hops_everywhere() {
+        for a in 0..PORTS {
+            for b in 0..PORTS {
+                assert!(internal_hops(a, b) <= 2);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn port_out_of_range_panics() {
+        Tile::of_port(64);
+    }
+}

@@ -1,0 +1,445 @@
+//! UGAL-style adaptive routing with minimal-path bias.
+
+use crate::plan::{RoutePhase, RouteState, Via};
+use crate::CongestionView;
+use slingshot_des::DetRng;
+use slingshot_topology::{ChannelId, Dragonfly, GroupId, SwitchId};
+
+/// Which routing algorithm a network runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RoutingAlgorithm {
+    /// Always minimal (best on a quiet network, §II-C).
+    Minimal,
+    /// Always Valiant (uniformly random intermediate): the classic
+    /// load-balancing baseline.
+    Valiant,
+    /// Slingshot/Aries adaptive: choose per packet between minimal and
+    /// non-minimal based on estimated congestion.
+    Adaptive,
+}
+
+/// Tunables of the adaptive decision.
+#[derive(Clone, Copy, Debug)]
+pub struct AdaptiveParams {
+    /// Minimal first-hop candidates examined (≤ 2 in hardware).
+    pub minimal_candidates: usize,
+    /// Non-minimal candidates examined (≤ 2 in hardware; minimal +
+    /// non-minimal together give the paper's "up to four paths").
+    pub nonminimal_candidates: usize,
+    /// Multiplicative bias applied to non-minimal path cost. The paper:
+    /// "adaptive routing biases packets to take minimal paths more
+    /// frequently, to compensate for the higher cost of non-minimal paths".
+    pub nonminimal_bias: f64,
+    /// Constant cost (bytes) added per switch-to-switch hop, converting hop
+    /// count into the queue-depth cost unit.
+    pub hop_cost_bytes: u64,
+}
+
+impl Default for AdaptiveParams {
+    fn default() -> Self {
+        AdaptiveParams {
+            minimal_candidates: 2,
+            nonminimal_candidates: 2,
+            nonminimal_bias: 2.0,
+            hop_cost_bytes: 4096,
+        }
+    }
+}
+
+/// A routing engine bound to a topology.
+pub struct Router<'a> {
+    topo: &'a Dragonfly,
+    algo: RoutingAlgorithm,
+    params: AdaptiveParams,
+}
+
+impl<'a> Router<'a> {
+    /// New router.
+    pub fn new(topo: &'a Dragonfly, algo: RoutingAlgorithm, params: AdaptiveParams) -> Self {
+        Router { topo, algo, params }
+    }
+
+    /// The topology this router operates on.
+    pub fn topology(&self) -> &Dragonfly {
+        self.topo
+    }
+
+    /// The algorithm in use.
+    pub fn algorithm(&self) -> RoutingAlgorithm {
+        self.algo
+    }
+
+    /// Source-switch decision: pick the packet's route (minimal vs which
+    /// detour). Called once per packet at its ingress switch.
+    pub fn decide<V: CongestionView>(
+        &self,
+        src: SwitchId,
+        dst: SwitchId,
+        view: &V,
+        rng: &mut DetRng,
+    ) -> RouteState {
+        if src == dst {
+            return RouteState::new(dst, Via::Direct);
+        }
+        let via = match self.algo {
+            RoutingAlgorithm::Minimal => Via::Direct,
+            RoutingAlgorithm::Valiant => self
+                .random_detour(src, dst, rng)
+                .unwrap_or(Via::Direct),
+            RoutingAlgorithm::Adaptive => self.adaptive_choice(src, dst, view, rng),
+        };
+        RouteState::new(dst, via)
+    }
+
+    /// Per-switch forwarding: pick the output channel for a packet at
+    /// `cur`, updating its `state` phase. `None` means the packet has
+    /// arrived at its destination switch and should be ejected.
+    pub fn next_channel<V: CongestionView>(
+        &self,
+        cur: SwitchId,
+        state: &mut RouteState,
+        view: &V,
+        rng: &mut DetRng,
+    ) -> Option<ChannelId> {
+        // Phase transition at the intermediate.
+        if state.phase == RoutePhase::ToIntermediate {
+            let reached = match state.via {
+                Via::Direct => true,
+                Via::Group(g) => self.topo.group_of(cur) == g,
+                Via::Switch(sw) => cur == sw,
+            };
+            if reached {
+                state.phase = RoutePhase::ToDestination;
+            }
+        }
+        let candidates = match state.phase {
+            RoutePhase::ToIntermediate => match state.via {
+                Via::Group(g) => self.topo.next_hops_toward_group(cur, g),
+                Via::Switch(sw) => self.topo.next_hops_toward_switch(cur, sw),
+                Via::Direct => unreachable!("direct routes never target an intermediate"),
+            },
+            RoutePhase::ToDestination => self.topo.next_hops_toward_switch(cur, state.dst),
+        };
+        if candidates.is_empty() {
+            debug_assert_eq!(cur, state.dst, "stuck packet away from destination");
+            return None;
+        }
+        Some(self.least_loaded(&candidates, view, rng))
+    }
+
+    /// Pick the least-loaded channel, breaking ties uniformly at random.
+    fn least_loaded<V: CongestionView>(
+        &self,
+        candidates: &[ChannelId],
+        view: &V,
+        rng: &mut DetRng,
+    ) -> ChannelId {
+        debug_assert!(!candidates.is_empty());
+        let mut best = candidates[0];
+        let mut best_load = view.channel_load(best);
+        let mut ties = 1u64;
+        for &c in &candidates[1..] {
+            let load = view.channel_load(c);
+            if load < best_load {
+                best = c;
+                best_load = load;
+                ties = 1;
+            } else if load == best_load {
+                // Reservoir sampling over ties keeps the choice uniform.
+                ties += 1;
+                if rng.below(ties) == 0 {
+                    best = c;
+                }
+            }
+        }
+        best
+    }
+
+    /// The UGAL decision: compare the cheapest minimal candidate with the
+    /// cheapest (biased) non-minimal candidate.
+    fn adaptive_choice<V: CongestionView>(
+        &self,
+        src: SwitchId,
+        dst: SwitchId,
+        view: &V,
+        rng: &mut DetRng,
+    ) -> Via {
+        let minimal_hops = self.topo.min_hops(src, dst) as u64;
+        let min_first_hops = self.topo.next_hops_toward_switch(src, dst);
+        let min_cost = self
+            .sample_costs(&min_first_hops, self.params.minimal_candidates, view, rng)
+            .map(|load| load + minimal_hops * self.params.hop_cost_bytes);
+
+        let mut best_detour: Option<(f64, Via)> = None;
+        for _ in 0..self.params.nonminimal_candidates {
+            let Some(via) = self.random_detour(src, dst, rng) else {
+                break;
+            };
+            let first_hops = match via {
+                Via::Group(g) => self.topo.next_hops_toward_group(src, g),
+                Via::Switch(sw) => self.topo.next_hops_toward_switch(src, sw),
+                Via::Direct => continue,
+            };
+            let Some(load) = self.sample_costs(&first_hops, 1, view, rng) else {
+                continue;
+            };
+            let detour_hops = minimal_hops + 2; // detours add ~2 hops
+            let cost = (load + detour_hops * self.params.hop_cost_bytes) as f64
+                * self.params.nonminimal_bias;
+            if best_detour.map(|(c, _)| cost < c).unwrap_or(true) {
+                best_detour = Some((cost, via));
+            }
+        }
+
+        match (min_cost, best_detour) {
+            (Some(mc), Some((dc, via))) => {
+                if (mc as f64) <= dc {
+                    Via::Direct
+                } else {
+                    via
+                }
+            }
+            (Some(_), None) => Via::Direct,
+            (None, Some((_, via))) => via,
+            (None, None) => Via::Direct,
+        }
+    }
+
+    /// Cheapest load among up to `n` randomly sampled candidates.
+    fn sample_costs<V: CongestionView>(
+        &self,
+        candidates: &[ChannelId],
+        n: usize,
+        view: &V,
+        rng: &mut DetRng,
+    ) -> Option<u64> {
+        if candidates.is_empty() {
+            return None;
+        }
+        let mut best: Option<u64> = None;
+        for _ in 0..n.max(1) {
+            let c = *rng.choose(candidates);
+            let load = view.channel_load(c);
+            best = Some(best.map_or(load, |b: u64| b.min(load)));
+        }
+        best
+    }
+
+    /// A random legal detour for `src → dst`: an intermediate group when
+    /// they are in different groups, an intermediate switch of the shared
+    /// group otherwise. `None` when the topology is too small for any
+    /// detour.
+    fn random_detour(&self, src: SwitchId, dst: SwitchId, rng: &mut DetRng) -> Option<Via> {
+        let g = self.topo.params().groups;
+        let src_grp = self.topo.group_of(src);
+        let dst_grp = self.topo.group_of(dst);
+        if src_grp != dst_grp {
+            if g <= 2 {
+                // No third group: fall back to an intra-group switch detour.
+                return self.random_switch_detour(src, dst, rng);
+            }
+            // Rejection-sample an intermediate group ≠ src, dst.
+            for _ in 0..8 {
+                let cand = GroupId(rng.below(g as u64) as u32);
+                if cand != src_grp && cand != dst_grp {
+                    return Some(Via::Group(cand));
+                }
+            }
+            None
+        } else {
+            self.random_switch_detour(src, dst, rng)
+        }
+    }
+
+    fn random_switch_detour(
+        &self,
+        src: SwitchId,
+        dst: SwitchId,
+        rng: &mut DetRng,
+    ) -> Option<Via> {
+        let a = self.topo.params().switches_per_group;
+        if a <= 2 {
+            return None;
+        }
+        let grp = self.topo.group_of(src);
+        for _ in 0..8 {
+            let local = rng.below(a as u64) as u32;
+            let cand = SwitchId(grp.0 * a + local);
+            if cand != src && cand != dst {
+                return Some(Via::Switch(cand));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{QuietView, TableView};
+    use slingshot_topology::DragonflyParams;
+
+    fn topo() -> Dragonfly {
+        DragonflyParams {
+            groups: 4,
+            switches_per_group: 4,
+            endpoints_per_switch: 4,
+            global_links_per_pair: 2,
+            intra_links_per_pair: 1,
+        }
+        .build()
+    }
+
+    /// Walk a packet from src to dst, returning the switch sequence.
+    fn walk(
+        router: &Router<'_>,
+        view: &impl CongestionView,
+        rng: &mut DetRng,
+        src: SwitchId,
+        dst: SwitchId,
+    ) -> Vec<SwitchId> {
+        let mut state = router.decide(src, dst, view, rng);
+        let mut cur = src;
+        let mut path = vec![cur];
+        for _ in 0..10 {
+            match router.next_channel(cur, &mut state, view, rng) {
+                Some(ch) => {
+                    cur = router.topology().channel(ch).to;
+                    state.hops += 1;
+                    path.push(cur);
+                }
+                None => break,
+            }
+        }
+        assert_eq!(cur, dst, "packet did not arrive: {path:?}");
+        path
+    }
+
+    #[test]
+    fn minimal_routes_stay_within_diameter() {
+        let t = topo();
+        let router = Router::new(&t, RoutingAlgorithm::Minimal, AdaptiveParams::default());
+        let mut rng = DetRng::seed_from(1);
+        for s in 0..16u32 {
+            for d in 0..16u32 {
+                let path = walk(&router, &QuietView, &mut rng, SwitchId(s), SwitchId(d));
+                assert!(path.len() <= 4, "{path:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn valiant_routes_arrive_within_five_hops() {
+        let t = topo();
+        let router = Router::new(&t, RoutingAlgorithm::Valiant, AdaptiveParams::default());
+        let mut rng = DetRng::seed_from(2);
+        for s in 0..16u32 {
+            for d in 0..16u32 {
+                let path = walk(&router, &QuietView, &mut rng, SwitchId(s), SwitchId(d));
+                assert!(path.len() <= 6, "{path:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_on_quiet_network_goes_minimal() {
+        let t = topo();
+        let router = Router::new(&t, RoutingAlgorithm::Adaptive, AdaptiveParams::default());
+        let mut rng = DetRng::seed_from(3);
+        let mut nonminimal = 0;
+        for _ in 0..200 {
+            let s = SwitchId(rng.below(16) as u32);
+            let d = SwitchId(rng.below(16) as u32);
+            let state = router.decide(s, d, &QuietView, &mut rng);
+            if state.is_nonminimal() {
+                nonminimal += 1;
+            }
+        }
+        assert_eq!(nonminimal, 0, "quiet network must route minimally");
+    }
+
+    #[test]
+    fn adaptive_detours_around_congestion() {
+        let t = topo();
+        let router = Router::new(&t, RoutingAlgorithm::Adaptive, AdaptiveParams::default());
+        let mut rng = DetRng::seed_from(4);
+        // Saturate every minimal first hop from switch 0 toward group 1.
+        let dst = SwitchId(5); // group 1
+        let mut loads = vec![0u64; t.channels().len()];
+        for ch in t.next_hops_toward_switch(SwitchId(0), dst) {
+            loads[ch.index()] = 10_000_000;
+        }
+        let view = TableView(loads);
+        let mut detours = 0;
+        for _ in 0..100 {
+            let state = router.decide(SwitchId(0), dst, &view, &mut rng);
+            if state.is_nonminimal() {
+                detours += 1;
+            }
+        }
+        assert!(detours > 80, "only {detours}/100 detoured under congestion");
+    }
+
+    #[test]
+    fn adaptive_packets_still_arrive_under_congestion() {
+        let t = topo();
+        let router = Router::new(&t, RoutingAlgorithm::Adaptive, AdaptiveParams::default());
+        let mut rng = DetRng::seed_from(5);
+        let mut loads = vec![0u64; t.channels().len()];
+        for (i, l) in loads.iter_mut().enumerate() {
+            *l = (i as u64 * 7919) % 100_000; // arbitrary uneven load
+        }
+        let view = TableView(loads);
+        for s in 0..16u32 {
+            for d in 0..16u32 {
+                let path = walk(&router, &view, &mut rng, SwitchId(s), SwitchId(d));
+                assert!(path.len() <= 6, "{path:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn least_loaded_prefers_empty_channel() {
+        let t = topo();
+        let router = Router::new(&t, RoutingAlgorithm::Adaptive, AdaptiveParams::default());
+        let mut rng = DetRng::seed_from(6);
+        // Two parallel global channels from group 0 to group 1: load one.
+        let dst = SwitchId(4);
+        let mut state = router.decide(SwitchId(0), dst, &QuietView, &mut rng);
+        // Find the candidates the router would use and load all but one.
+        let cands = t.next_hops_toward_switch(SwitchId(0), dst);
+        if cands.len() >= 2 {
+            let mut loads = vec![0u64; t.channels().len()];
+            for &c in &cands[1..] {
+                loads[c.index()] = 1_000_000;
+            }
+            let view = TableView(loads);
+            for _ in 0..20 {
+                let ch = router
+                    .next_channel(SwitchId(0), &mut state, &view, &mut rng)
+                    .unwrap();
+                assert_eq!(ch, cands[0], "picked a loaded channel");
+                state = router.decide(SwitchId(0), dst, &QuietView, &mut rng);
+            }
+        }
+    }
+
+    #[test]
+    fn two_group_system_uses_switch_detours() {
+        let t = DragonflyParams {
+            groups: 2,
+            switches_per_group: 4,
+            endpoints_per_switch: 4,
+            global_links_per_pair: 4,
+            intra_links_per_pair: 1,
+        }
+        .build();
+        let router = Router::new(&t, RoutingAlgorithm::Valiant, AdaptiveParams::default());
+        let mut rng = DetRng::seed_from(7);
+        // Cross-group traffic in a 2-group system can only detour via
+        // switches; packets must still arrive.
+        for _ in 0..50 {
+            walk(&router, &QuietView, &mut rng, SwitchId(0), SwitchId(7));
+        }
+    }
+}

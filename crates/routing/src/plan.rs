@@ -1,0 +1,80 @@
+//! Per-packet routing state.
+
+use slingshot_topology::{GroupId, SwitchId};
+
+/// The non-minimal detour a packet was assigned at the source switch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Via {
+    /// Minimal route: straight toward the destination.
+    Direct,
+    /// Valiant detour through an intermediate group (inter-group
+    /// non-minimal path).
+    Group(GroupId),
+    /// Detour through an intermediate switch of the same group (intra-group
+    /// non-minimal path).
+    Switch(SwitchId),
+}
+
+/// Which leg of the (possibly two-leg) route the packet is on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RoutePhase {
+    /// Heading to the Valiant intermediate.
+    ToIntermediate,
+    /// Heading to the final destination switch.
+    ToDestination,
+}
+
+/// Mutable routing state carried by each packet.
+#[derive(Clone, Copy, Debug)]
+pub struct RouteState {
+    /// Final destination switch.
+    pub dst: SwitchId,
+    /// Assigned detour.
+    pub via: Via,
+    /// Current phase.
+    pub phase: RoutePhase,
+    /// Switch-to-switch hops taken so far (loop guard and statistics).
+    pub hops: u8,
+}
+
+impl RouteState {
+    /// Fresh state for a packet bound for `dst`.
+    pub fn new(dst: SwitchId, via: Via) -> Self {
+        RouteState {
+            dst,
+            via,
+            phase: match via {
+                Via::Direct => RoutePhase::ToDestination,
+                _ => RoutePhase::ToIntermediate,
+            },
+            hops: 0,
+        }
+    }
+
+    /// Whether this packet took a non-minimal route.
+    pub fn is_nonminimal(&self) -> bool {
+        !matches!(self.via, Via::Direct)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn direct_starts_in_destination_phase() {
+        let s = RouteState::new(SwitchId(3), Via::Direct);
+        assert_eq!(s.phase, RoutePhase::ToDestination);
+        assert!(!s.is_nonminimal());
+        assert_eq!(s.hops, 0);
+    }
+
+    #[test]
+    fn valiant_starts_toward_intermediate() {
+        let s = RouteState::new(SwitchId(3), Via::Group(GroupId(1)));
+        assert_eq!(s.phase, RoutePhase::ToIntermediate);
+        assert!(s.is_nonminimal());
+        let s = RouteState::new(SwitchId(3), Via::Switch(SwitchId(9)));
+        assert_eq!(s.phase, RoutePhase::ToIntermediate);
+    }
+}

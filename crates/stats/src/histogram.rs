@@ -1,0 +1,154 @@
+//! Fixed-bin histograms for latency distributions (paper Fig. 2).
+
+use serde::Serialize;
+
+/// A linear-bin histogram over `[lo, hi)`.
+///
+/// Out-of-range values are counted in saturating edge bins so no sample is
+/// silently dropped.
+#[derive(Clone, Debug, Serialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Histogram over `[lo, hi)` with `nbins` equal-width bins.
+    pub fn new(lo: f64, hi: f64, nbins: usize) -> Self {
+        assert!(hi > lo, "empty range");
+        assert!(nbins > 0, "no bins");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; nbins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        if x >= self.hi {
+            self.overflow += 1;
+            return;
+        }
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        let idx = ((x - self.lo) / width) as usize;
+        let idx = idx.min(self.bins.len() - 1);
+        self.bins[idx] += 1;
+    }
+
+    /// Number of observations recorded (including out-of-range).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the range end.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Center of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        self.lo + width * (i as f64 + 0.5)
+    }
+
+    /// Normalized density rows `(bin_center, fraction_of_total)`, the series
+    /// plotted in the paper's Fig. 2.
+    pub fn density(&self) -> Vec<(f64, f64)> {
+        let total = self.count.max(1) as f64;
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.bin_center(i), c as f64 / total))
+            .collect()
+    }
+
+    /// Fraction of in-range mass lying within `[a, b)`.
+    pub fn mass_between(&self, a: f64, b: f64) -> f64 {
+        let total = self.count.max(1) as f64;
+        let mut acc = 0u64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            let center = self.bin_center(i);
+            if center >= a && center < b {
+                acc += c;
+            }
+        }
+        acc as f64 / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_values_correctly() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for x in [0.5, 1.5, 1.6, 9.9] {
+            h.record(x);
+        }
+        assert_eq!(h.bins()[0], 1);
+        assert_eq!(h.bins()[1], 2);
+        assert_eq!(h.bins()[9], 1);
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn out_of_range_is_counted_not_dropped() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(-5.0);
+        h.record(2.0);
+        h.record(1.0); // hi is exclusive
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.bins().iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn centers_and_density() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        assert_eq!(h.bin_center(0), 0.5);
+        assert_eq!(h.bin_center(3), 3.5);
+        h.record(0.1);
+        h.record(0.2);
+        h.record(3.0);
+        h.record(3.1);
+        let d = h.density();
+        assert_eq!(d.len(), 4);
+        assert!((d[0].1 - 0.5).abs() < 1e-12);
+        assert!((d[3].1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mass_between_window() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..100 {
+            h.record(i as f64 + 0.5);
+        }
+        let m = h.mass_between(30.0, 40.0);
+        assert!((m - 0.10).abs() < 1e-9, "mass {m}");
+    }
+}

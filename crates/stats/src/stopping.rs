@@ -1,0 +1,247 @@
+//! Scientific-benchmarking stopping rule.
+//!
+//! The paper (following Hoefler & Belli, SC'15) runs each microbenchmark
+//! "at least 200 times and for at least 4 seconds", stopping when the 95 %
+//! confidence interval of the median is within 5 % of the median.
+//! [`StoppingRule`] implements exactly that protocol: feed it measurements
+//! and ask whether another iteration is needed.
+
+use crate::sample::Sample;
+
+/// Configuration of the iterate-until-confident loop.
+#[derive(Clone, Copy, Debug)]
+pub struct StoppingRule {
+    /// Minimum iterations before the CI is even consulted (paper: 200).
+    pub min_iterations: usize,
+    /// Minimum accumulated measured time in seconds (paper: 4 s of victim
+    /// runtime). Set to 0 to disable.
+    pub min_elapsed_secs: f64,
+    /// CI confidence level, e.g. 0.95.
+    pub confidence: f64,
+    /// Stop when the CI half-width is within this fraction of the median
+    /// (paper: 0.05).
+    pub relative_precision: f64,
+    /// Hard cap to guarantee termination on noisy data.
+    pub max_iterations: usize,
+}
+
+impl Default for StoppingRule {
+    fn default() -> Self {
+        StoppingRule {
+            min_iterations: 200,
+            min_elapsed_secs: 4.0,
+            confidence: 0.95,
+            relative_precision: 0.05,
+            max_iterations: 100_000,
+        }
+    }
+}
+
+impl StoppingRule {
+    /// A fast variant for simulation use: fewer mandatory iterations, no
+    /// wall-time floor (simulated seconds are expensive to produce).
+    pub fn quick(min_iterations: usize) -> Self {
+        StoppingRule {
+            min_iterations,
+            min_elapsed_secs: 0.0,
+            confidence: 0.95,
+            relative_precision: 0.05,
+            max_iterations: min_iterations.max(1) * 50,
+        }
+    }
+
+    /// Decide whether the collected `sample` (values in seconds) satisfies
+    /// the rule.
+    pub fn is_satisfied(&self, sample: &mut Sample) -> bool {
+        let n = sample.len();
+        if n >= self.max_iterations {
+            return true;
+        }
+        if n < self.min_iterations.max(2) {
+            return false;
+        }
+        if self.min_elapsed_secs > 0.0 {
+            let elapsed: f64 = sample.values().iter().sum();
+            if elapsed < self.min_elapsed_secs {
+                return false;
+            }
+        }
+        let median = sample.median();
+        if median <= 0.0 {
+            // Degenerate (all-zero) samples cannot shrink a relative CI.
+            return true;
+        }
+        let (lo, hi) = median_confidence_interval(sample, self.confidence);
+        let half_width = (hi - lo) / 2.0;
+        half_width <= self.relative_precision * median
+    }
+}
+
+/// Nonparametric confidence interval of the median using the binomial
+/// order-statistic method (the standard distribution-free CI).
+///
+/// Returns `(lower, upper)` sample values bounding the median at the given
+/// confidence level.
+pub fn median_confidence_interval(sample: &mut Sample, confidence: f64) -> (f64, f64) {
+    let n = sample.len();
+    assert!(n >= 2, "CI needs at least two samples");
+    // Normal approximation to the binomial(n, 0.5) order-statistic ranks.
+    let z = z_for_confidence(confidence);
+    let nf = n as f64;
+    let half = z * (nf * 0.25).sqrt();
+    let lo_rank = ((nf / 2.0 - half).floor().max(0.0)) as usize;
+    let hi_rank = (((nf / 2.0 + half).ceil() as usize).min(n - 1)).max(lo_rank);
+    let lo_q = lo_rank as f64 / (n - 1) as f64;
+    let hi_q = hi_rank as f64 / (n - 1) as f64;
+    (sample.quantile(lo_q), sample.quantile(hi_q))
+}
+
+/// Two-sided z-score for common confidence levels (interpolated otherwise).
+pub fn z_for_confidence(confidence: f64) -> f64 {
+    match confidence {
+        c if (c - 0.90).abs() < 1e-9 => 1.6449,
+        c if (c - 0.95).abs() < 1e-9 => 1.9600,
+        c if (c - 0.99).abs() < 1e-9 => 2.5758,
+        c => {
+            assert!((0.5..1.0).contains(&c), "confidence {c} out of range");
+            // Beasley-Springer-Moro style rational approximation of the
+            // normal quantile at (1+c)/2.
+            inverse_normal_cdf((1.0 + c) / 2.0)
+        }
+    }
+}
+
+/// Acklam's rational approximation of the standard normal quantile.
+fn inverse_normal_cdf(p: f64) -> f64 {
+    debug_assert!((0.0..1.0).contains(&p));
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    let p_low = 0.02425;
+    if p < p_low {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - p_low {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        -inverse_normal_cdf(1.0 - p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn needs_min_iterations() {
+        let rule = StoppingRule::quick(10);
+        let mut s = Sample::new();
+        for _ in 0..9 {
+            s.push(1.0);
+        }
+        assert!(!rule.is_satisfied(&mut s));
+        s.push(1.0);
+        assert!(rule.is_satisfied(&mut s)); // identical values → zero-width CI
+    }
+
+    #[test]
+    fn tight_sample_stops_noisy_sample_continues() {
+        let rule = StoppingRule::quick(20);
+        let mut tight = Sample::new();
+        let mut noisy = Sample::new();
+        for i in 0..30 {
+            tight.push(1.0 + 0.001 * (i % 3) as f64);
+            // Alternating 1 and 100: the median CI stays enormous.
+            noisy.push(if i % 2 == 0 { 1.0 } else { 100.0 });
+        }
+        assert!(rule.is_satisfied(&mut tight));
+        assert!(!rule.is_satisfied(&mut noisy));
+    }
+
+    #[test]
+    fn max_iterations_terminates() {
+        let mut rule = StoppingRule::quick(2);
+        rule.max_iterations = 50;
+        let mut noisy = Sample::new();
+        for i in 0..50 {
+            noisy.push(if i % 2 == 0 { 1.0 } else { 100.0 });
+        }
+        assert!(rule.is_satisfied(&mut noisy));
+    }
+
+    #[test]
+    fn elapsed_floor_enforced() {
+        let rule = StoppingRule {
+            min_iterations: 2,
+            min_elapsed_secs: 10.0,
+            confidence: 0.95,
+            relative_precision: 0.05,
+            max_iterations: 10_000,
+        };
+        let mut s = Sample::new();
+        for _ in 0..100 {
+            s.push(0.05); // 5 seconds total < 10
+        }
+        assert!(!rule.is_satisfied(&mut s));
+        for _ in 0..100 {
+            s.push(0.05); // now 10 s total
+        }
+        assert!(rule.is_satisfied(&mut s));
+    }
+
+    #[test]
+    fn ci_contains_true_median() {
+        let mut s = Sample::from_values((1..=1001).map(|x| x as f64).collect());
+        let (lo, hi) = median_confidence_interval(&mut s, 0.95);
+        assert!(lo <= 501.0 && 501.0 <= hi);
+        assert!(hi - lo < 120.0, "CI too wide: {lo}..{hi}");
+    }
+
+    #[test]
+    fn z_scores() {
+        assert!((z_for_confidence(0.95) - 1.96).abs() < 1e-3);
+        assert!((z_for_confidence(0.99) - 2.5758).abs() < 1e-3);
+        // Interpolated value close to table.
+        assert!((z_for_confidence(0.8) - 1.2816).abs() < 1e-3);
+    }
+
+    #[test]
+    fn inverse_normal_symmetry() {
+        for p in [0.6, 0.75, 0.9, 0.975, 0.999] {
+            let z = inverse_normal_cdf(p);
+            let z_neg = inverse_normal_cdf(1.0 - p);
+            assert!((z + z_neg).abs() < 1e-9, "asymmetry at {p}");
+            assert!(z > 0.0);
+        }
+    }
+}

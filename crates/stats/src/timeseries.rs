@@ -1,0 +1,99 @@
+//! Time-bucketed rate series (paper Figs. 13–14 plot bandwidth over time).
+
+use serde::Serialize;
+
+/// Accumulates `(timestamp, amount)` points into fixed-width time buckets
+/// and reports a rate per bucket. Timestamps are in arbitrary units (the
+/// simulator uses picoseconds) and amounts in arbitrary units (bytes).
+#[derive(Clone, Debug, Serialize)]
+pub struct RateSeries {
+    bucket_width: u64,
+    buckets: Vec<f64>,
+}
+
+impl RateSeries {
+    /// New series with the given bucket width (same unit as timestamps).
+    pub fn new(bucket_width: u64) -> Self {
+        assert!(bucket_width > 0);
+        RateSeries {
+            bucket_width,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Record `amount` delivered at `timestamp`.
+    pub fn record(&mut self, timestamp: u64, amount: f64) {
+        let idx = (timestamp / self.bucket_width) as usize;
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, 0.0);
+        }
+        self.buckets[idx] += amount;
+    }
+
+    /// Bucket width.
+    pub fn bucket_width(&self) -> u64 {
+        self.bucket_width
+    }
+
+    /// Per-bucket totals.
+    pub fn totals(&self) -> &[f64] {
+        &self.buckets
+    }
+
+    /// Rows of `(bucket_start_time, amount_per_time_unit)`.
+    pub fn rates(&self) -> Vec<(u64, f64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(i, &total)| (i as u64 * self.bucket_width, total / self.bucket_width as f64))
+            .collect()
+    }
+
+    /// Total amount across all buckets.
+    pub fn total(&self) -> f64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Number of buckets (span of the series).
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_accumulate() {
+        let mut s = RateSeries::new(10);
+        s.record(0, 5.0);
+        s.record(9, 5.0);
+        s.record(10, 3.0);
+        s.record(25, 2.0);
+        assert_eq!(s.totals(), &[10.0, 3.0, 2.0]);
+        assert_eq!(s.total(), 15.0);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn rates_divide_by_width() {
+        let mut s = RateSeries::new(4);
+        s.record(0, 8.0);
+        let rates = s.rates();
+        assert_eq!(rates, vec![(0, 2.0)]);
+    }
+
+    #[test]
+    fn sparse_timestamps_fill_gaps_with_zero() {
+        let mut s = RateSeries::new(1);
+        s.record(5, 1.0);
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.totals()[..5], [0.0; 5]);
+    }
+}

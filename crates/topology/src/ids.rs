@@ -1,0 +1,81 @@
+//! Strongly-typed identifiers for topology entities.
+
+use serde::Serialize;
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Index form for vector lookups.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A compute endpoint (one NIC attachment; paper: "node").
+    NodeId
+);
+id_type!(
+    /// A Rosetta switch.
+    SwitchId
+);
+id_type!(
+    /// A dragonfly group.
+    GroupId
+);
+id_type!(
+    /// A directed switch-to-switch channel (one direction of a cable).
+    ChannelId
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_are_distinct_types_with_indexing() {
+        let n = NodeId(3);
+        assert_eq!(n.index(), 3);
+        assert_eq!(usize::from(n), 3);
+        assert_eq!(format!("{n}"), "3");
+        assert_eq!(format!("{n:?}"), "NodeId(3)");
+    }
+
+    #[test]
+    fn ids_hash_and_order() {
+        let mut set = HashSet::new();
+        set.insert(SwitchId(1));
+        set.insert(SwitchId(1));
+        set.insert(SwitchId(2));
+        assert_eq!(set.len(), 2);
+        assert!(GroupId(1) < GroupId(2));
+    }
+}

@@ -1,0 +1,185 @@
+//! Path enumeration over the dragonfly.
+//!
+//! §II-C: "any pair of nodes is connected by multiple minimal and
+//! non-minimal paths. ... In smaller networks, due to links redundancy,
+//! multiple minimal paths are connecting any pair of nodes." These helpers
+//! enumerate them exactly — used by routing tests, the path-diversity
+//! analysis, and the Fig. 4 bandwidth discussion (cross-group pairs see
+//! *more* paths, hence occasionally more bandwidth).
+
+use crate::dragonfly::Dragonfly;
+use crate::ids::{ChannelId, SwitchId};
+
+/// A switch-level path: the channel sequence from source to destination
+/// switch (empty for same-switch traffic).
+pub type Path = Vec<ChannelId>;
+
+impl Dragonfly {
+    /// Enumerate every minimal path between two switches (paths whose hop
+    /// count equals [`Dragonfly::min_hops`]), up to `limit` paths.
+    pub fn minimal_paths(&self, src: SwitchId, dst: SwitchId, limit: usize) -> Vec<Path> {
+        let target_len = self.min_hops(src, dst) as usize;
+        let mut out = Vec::new();
+        let mut stack: Vec<ChannelId> = Vec::new();
+        self.enumerate(src, dst, target_len, &mut stack, &mut out, limit);
+        out
+    }
+
+    fn enumerate(
+        &self,
+        cur: SwitchId,
+        dst: SwitchId,
+        remaining: usize,
+        stack: &mut Vec<ChannelId>,
+        out: &mut Vec<Path>,
+        limit: usize,
+    ) {
+        if out.len() >= limit {
+            return;
+        }
+        if cur == dst {
+            if remaining == 0 {
+                out.push(stack.clone());
+            }
+            return;
+        }
+        if remaining == 0 {
+            return;
+        }
+        for ch in self.next_hops_toward_switch(cur, dst) {
+            let next = self.channel(ch).to;
+            // Only continue along hops that can still finish in time.
+            if self.min_hops(next, dst) as usize <= remaining - 1 {
+                stack.push(ch);
+                self.enumerate(next, dst, remaining - 1, stack, out, limit);
+                stack.pop();
+            }
+        }
+    }
+
+    /// Count minimal paths between two switches (up to `limit`).
+    pub fn minimal_path_count(&self, src: SwitchId, dst: SwitchId, limit: usize) -> usize {
+        self.minimal_paths(src, dst, limit).len()
+    }
+
+    /// Validate that a channel sequence is a connected path from `src` to
+    /// `dst`.
+    pub fn is_valid_path(&self, src: SwitchId, dst: SwitchId, path: &[ChannelId]) -> bool {
+        let mut cur = src;
+        for &ch in path {
+            let c = self.channel(ch);
+            if c.from != cur {
+                return false;
+            }
+            cur = c.to;
+        }
+        cur == dst
+    }
+
+    /// Non-minimal path diversity: the number of distinct intermediate
+    /// groups a Valiant detour may use for a cross-group pair (0 for
+    /// same-group pairs).
+    pub fn valiant_group_choices(&self, src: SwitchId, dst: SwitchId) -> u32 {
+        let gs = self.group_of(src);
+        let gd = self.group_of(dst);
+        if gs == gd {
+            0
+        } else {
+            self.params().groups.saturating_sub(2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dragonfly::DragonflyParams;
+
+    fn topo() -> Dragonfly {
+        DragonflyParams {
+            groups: 4,
+            switches_per_group: 4,
+            endpoints_per_switch: 2,
+            global_links_per_pair: 2,
+            intra_links_per_pair: 1,
+        }
+        .build()
+    }
+
+    #[test]
+    fn same_switch_has_one_empty_path() {
+        let d = topo();
+        let paths = d.minimal_paths(SwitchId(3), SwitchId(3), 10);
+        assert_eq!(paths, vec![Vec::new()]);
+    }
+
+    #[test]
+    fn intra_group_has_direct_paths() {
+        let d = topo();
+        let paths = d.minimal_paths(SwitchId(0), SwitchId(1), 10);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].len(), 1);
+        assert!(d.is_valid_path(SwitchId(0), SwitchId(1), &paths[0]));
+    }
+
+    #[test]
+    fn parallel_intra_links_multiply_paths() {
+        let d = DragonflyParams {
+            groups: 1,
+            switches_per_group: 2,
+            endpoints_per_switch: 2,
+            global_links_per_pair: 0,
+            intra_links_per_pair: 3,
+        }
+        .build();
+        assert_eq!(d.minimal_path_count(SwitchId(0), SwitchId(1), 10), 3);
+    }
+
+    #[test]
+    fn cross_group_pairs_have_multiple_minimal_paths() {
+        // §II-C: link redundancy creates multiple minimal paths; with 2
+        // global cables per group pair there are ≥ 2 for some pairs.
+        let d = topo();
+        let mut max_paths = 0;
+        for s in 0..4u32 {
+            for t in 12..16u32 {
+                let n = d.minimal_path_count(SwitchId(s), SwitchId(t), 64);
+                assert!(n >= 1, "{s}->{t} has no minimal path");
+                max_paths = max_paths.max(n);
+            }
+        }
+        assert!(max_paths >= 2, "no path diversity: max {max_paths}");
+    }
+
+    #[test]
+    fn all_enumerated_paths_are_valid_and_minimal() {
+        let d = topo();
+        for s in 0..16u32 {
+            for t in 0..16u32 {
+                let s = SwitchId(s);
+                let t = SwitchId(t);
+                let min = d.min_hops(s, t) as usize;
+                for p in d.minimal_paths(s, t, 32) {
+                    assert!(d.is_valid_path(s, t, &p));
+                    assert_eq!(p.len(), min, "{s:?}->{t:?}: {p:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn limit_is_respected() {
+        let d = topo();
+        for s in 0..4u32 {
+            let paths = d.minimal_paths(SwitchId(s), SwitchId(14), 2);
+            assert!(paths.len() <= 2);
+        }
+    }
+
+    #[test]
+    fn valiant_choices() {
+        let d = topo();
+        assert_eq!(d.valiant_group_choices(SwitchId(0), SwitchId(1)), 0);
+        assert_eq!(d.valiant_group_choices(SwitchId(0), SwitchId(15)), 2);
+    }
+}

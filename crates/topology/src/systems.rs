@@ -1,0 +1,151 @@
+//! Named system configurations from the paper (§III).
+
+use crate::dragonfly::DragonflyParams;
+
+/// Rosetta switch radix.
+pub const ROSETTA_RADIX: u32 = 64;
+
+/// SHANDY: the 1024-node Slingshot system (8 groups × 8 switches × 16
+/// endpoints; 8 global cables between every group pair → 56 global links
+/// per group, 7 global ports per switch).
+pub fn shandy() -> DragonflyParams {
+    DragonflyParams {
+        groups: 8,
+        switches_per_group: 8,
+        endpoints_per_switch: 16,
+        global_links_per_pair: 8,
+        intra_links_per_pair: 1,
+    }
+}
+
+/// MALBEC: the 484-node Slingshot system (4 groups of up to 128 nodes; 48
+/// global links between every pair of groups). We model the fully populated
+/// 512-endpoint configuration; experiments use node subsets.
+pub fn malbec() -> DragonflyParams {
+    DragonflyParams {
+        groups: 4,
+        switches_per_group: 8,
+        endpoints_per_switch: 16,
+        global_links_per_pair: 48,
+        intra_links_per_pair: 1,
+    }
+}
+
+/// CRYSTAL: the 698-node Aries system (two groups of up to 384 nodes).
+///
+/// Substitution: real Aries groups are a 96-switch 2-D all-to-all of 4-node
+/// routers; we model an equal-endpoint dragonfly group mesh (24 switches ×
+/// 16 endpoints). The paper's congestion results hinge on Aries' congestion
+/// control, not its intra-group wiring (see DESIGN.md).
+pub fn crystal() -> DragonflyParams {
+    DragonflyParams {
+        groups: 2,
+        switches_per_group: 24,
+        endpoints_per_switch: 16,
+        global_links_per_pair: 96,
+        intra_links_per_pair: 1,
+    }
+}
+
+/// The paper's largest 1-D dragonfly built from 64-port Rosetta switches:
+/// 545 groups × 32 switches × 16 endpoints = 279 040 endpoints, exactly 64
+/// ports per switch (16 + 31 + 17).
+pub fn largest_slingshot() -> DragonflyParams {
+    DragonflyParams {
+        groups: 545,
+        switches_per_group: 32,
+        endpoints_per_switch: 16,
+        global_links_per_pair: 1,
+        intra_links_per_pair: 1,
+    }
+}
+
+/// A scaled Shandy-like system with the given group count (8 switches × 16
+/// endpoints per group, Shandy's 8 cables per group pair), for experiments
+/// that need smaller node counts but the same per-link bandwidth ratios.
+pub fn shandy_scaled(groups: u32) -> DragonflyParams {
+    DragonflyParams {
+        groups,
+        switches_per_group: 8,
+        endpoints_per_switch: 16,
+        global_links_per_pair: if groups > 1 { 8 } else { 0 },
+        intra_links_per_pair: 1,
+    }
+}
+
+/// A deliberately tiny system for unit tests and quick examples: 2 groups ×
+/// 2 switches × 4 endpoints = 16 nodes.
+pub fn tiny() -> DragonflyParams {
+    DragonflyParams {
+        groups: 2,
+        switches_per_group: 2,
+        endpoints_per_switch: 4,
+        global_links_per_pair: 2,
+        intra_links_per_pair: 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shandy_matches_paper() {
+        let p = shandy();
+        assert_eq!(p.total_nodes(), 1024);
+        assert_eq!(p.groups, 8);
+        // 56 global links per group (§II-G / Fig. 6: "this system has
+        // 56·8 = 448 global links").
+        assert_eq!(p.global_slots_per_group(), 56);
+        assert_eq!(p.global_slots_per_group() * p.groups, 448);
+        // Bisection: 4·4·8 = 128 cables (Fig. 6 discussion).
+        assert_eq!(p.bisection_global_cables(), 128);
+        assert!(p.validate_radix(ROSETTA_RADIX).is_ok());
+    }
+
+    #[test]
+    fn malbec_matches_paper() {
+        let p = malbec();
+        assert_eq!(p.groups, 4);
+        // "Each group is connected to each other group through 48 global
+        // links."
+        assert_eq!(p.global_links_per_pair, 48);
+        assert!(p.total_nodes() >= 484);
+        assert!(p.validate_radix(ROSETTA_RADIX).is_ok());
+    }
+
+    #[test]
+    fn crystal_covers_698_nodes_in_two_groups() {
+        let p = crystal();
+        assert_eq!(p.groups, 2);
+        assert!(p.total_nodes() >= 698);
+        assert!(p.total_nodes() / p.groups >= 349); // ≥ 384-node groups hold half
+    }
+
+    #[test]
+    fn largest_is_exactly_full_radix() {
+        let p = largest_slingshot();
+        assert_eq!(p.total_nodes(), 279_040);
+        assert_eq!(p.ports_needed_per_switch(), ROSETTA_RADIX);
+    }
+
+    #[test]
+    fn all_named_systems_validate() {
+        for p in [shandy(), malbec(), crystal(), largest_slingshot(), tiny()] {
+            assert!(p.validate().is_ok(), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn scaled_shandy_shapes() {
+        assert_eq!(shandy_scaled(8), shandy());
+        assert_eq!(shandy_scaled(2).total_nodes(), 256);
+        assert!(shandy_scaled(1).validate().is_ok());
+    }
+
+    #[test]
+    fn tiny_builds() {
+        let d = tiny().build();
+        assert_eq!(d.node_count(), 16);
+    }
+}

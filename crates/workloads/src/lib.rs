@@ -1,0 +1,21 @@
+//! # slingshot-workloads
+//!
+//! The workloads of the paper's evaluation (§III, Table I): GPCNet-style
+//! congestors (incast / all-to-all aggressors, bursty variants), the ember
+//! communication patterns (halo3d, sweep3d, incast), standard MPI
+//! microbenchmarks with iteration marks, HPC application skeletons (MILC,
+//! HPCG, LAMMPS, FFT, resnet-proxy), and Tailbench latency-critical
+//! client/server proxies (silo, sphinx, xapian, img-dnn).
+
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod ember;
+pub mod gpcnet;
+pub mod microbench;
+pub mod tailbench;
+
+pub use apps::HpcApp;
+pub use gpcnet::Congestor;
+pub use microbench::Microbench;
+pub use tailbench::TailApp;

@@ -1,0 +1,202 @@
+//! Victim microbenchmarks of the paper's Fig. 9 heatmap: standard MPI
+//! operations iterated with iteration marks for the statistics harness.
+
+use slingshot_mpi::{coll, MpiOp, Script};
+
+/// The microbenchmark kinds of Fig. 9, with the paper's column labels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Microbench {
+    /// Two-rank ping-pong (rank 0 ↔ rank n−1).
+    Pingpong,
+    /// `MPI_Allreduce`.
+    Allreduce,
+    /// `MPI_Alltoall`.
+    Alltoall,
+    /// `MPI_Barrier` (size ignored).
+    Barrier,
+    /// `MPI_Bcast` from rank 0.
+    Broadcast,
+}
+
+impl Microbench {
+    /// All kinds in the paper's column order.
+    pub const ALL: [Microbench; 5] = [
+        Microbench::Pingpong,
+        Microbench::Allreduce,
+        Microbench::Alltoall,
+        Microbench::Barrier,
+        Microbench::Broadcast,
+    ];
+
+    /// Paper label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Microbench::Pingpong => "pingpong",
+            Microbench::Allreduce => "allreduce",
+            Microbench::Alltoall => "alltoall",
+            Microbench::Barrier => "barrier",
+            Microbench::Broadcast => "broadcast",
+        }
+    }
+
+    /// The message sizes the paper sweeps for this benchmark (Fig. 9
+    /// x-axis groups).
+    pub fn paper_sizes(self) -> &'static [u64] {
+        match self {
+            Microbench::Pingpong => &[
+                8,
+                128,
+                1 << 10,
+                16 << 10,
+                128 << 10,
+                1 << 20,
+                4 << 20,
+                16 << 20,
+            ],
+            Microbench::Allreduce => {
+                &[8, 128, 1 << 10, 16 << 10, 128 << 10, 1 << 20, 4 << 20]
+            }
+            Microbench::Alltoall => {
+                &[8, 128, 1 << 10, 16 << 10, 128 << 10, 1 << 20, 4 << 20]
+            }
+            Microbench::Barrier => &[8],
+            Microbench::Broadcast => &[
+                8,
+                128,
+                1 << 10,
+                16 << 10,
+                128 << 10,
+                1 << 20,
+                4 << 20,
+                16 << 20,
+            ],
+        }
+    }
+
+    /// Build victim scripts for `n` ranks, `iters` marked iterations of
+    /// `bytes`-sized operations.
+    pub fn scripts(self, n: u32, bytes: u64, iters: u32) -> Vec<Script> {
+        match self {
+            Microbench::Pingpong => pingpong(n, bytes, iters),
+            Microbench::Allreduce => iterate_collective(n, iters, |tag| {
+                coll::allreduce(n, bytes, tag)
+            }),
+            Microbench::Alltoall => iterate_collective(n, iters, |tag| {
+                coll::alltoall(n, bytes, tag)
+            }),
+            Microbench::Barrier => {
+                iterate_collective(n, iters, |tag| coll::barrier(n, tag))
+            }
+            Microbench::Broadcast => iterate_collective(n, iters, |tag| {
+                coll::bcast(n, 0, bytes, tag)
+            }),
+        }
+    }
+}
+
+/// Wrap a per-iteration collective fragment generator with marks. The tag
+/// space is partitioned per iteration (stride 64 covers every collective's
+/// internal rounds).
+pub fn iterate_collective<F>(n: u32, iters: u32, mut gen: F) -> Vec<Script>
+where
+    F: FnMut(u32) -> coll::Fragments,
+{
+    let mut scripts = vec![Script::new(); n as usize];
+    for it in 0..iters {
+        let frags = gen(it * 64);
+        debug_assert_eq!(frags.len(), n as usize);
+        for (r, frag) in frags.into_iter().enumerate() {
+            scripts[r].push(MpiOp::Mark(it));
+            scripts[r].ops.extend(frag);
+        }
+    }
+    for s in &mut scripts {
+        s.push(MpiOp::Mark(iters));
+    }
+    scripts
+}
+
+/// Ping-pong between rank 0 and rank n−1 (the other ranks idle but still
+/// mark iterations so the harness sees a full job).
+fn pingpong(n: u32, bytes: u64, iters: u32) -> Vec<Script> {
+    assert!(n >= 2, "pingpong needs two ranks");
+    let a = 0u32;
+    let b = n - 1;
+    let mut scripts = vec![Script::new(); n as usize];
+    for it in 0..iters {
+        for (r, s) in scripts.iter_mut().enumerate() {
+            s.push(MpiOp::Mark(it));
+            let r = r as u32;
+            if r == a {
+                s.push(MpiOp::Send { dst: b, bytes, tag: it });
+                s.push(MpiOp::Recv { src: b, tag: it });
+            } else if r == b {
+                s.push(MpiOp::Recv { src: a, tag: it });
+                s.push(MpiOp::Send { dst: a, bytes, tag: it });
+            }
+        }
+    }
+    for s in &mut scripts {
+        s.push(MpiOp::Mark(iters));
+    }
+    scripts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slingshot_mpi::coll::validate_matching;
+
+    fn frags_of(scripts: &[Script]) -> coll::Fragments {
+        scripts.iter().map(|s| s.ops.clone()).collect()
+    }
+
+    #[test]
+    fn all_microbenchmarks_match_for_odd_and_even_n() {
+        for n in [2u32, 5, 8, 13] {
+            for mb in Microbench::ALL {
+                let scripts = mb.scripts(n, 1024, 3);
+                assert_eq!(scripts.len(), n as usize);
+                validate_matching(&frags_of(&scripts))
+                    .unwrap_or_else(|e| panic!("{} n={n}: {e}", mb.label()));
+            }
+        }
+    }
+
+    #[test]
+    fn iterations_are_marked() {
+        let scripts = Microbench::Allreduce.scripts(4, 8, 5);
+        let marks = scripts[0]
+            .ops
+            .iter()
+            .filter(|op| matches!(op, MpiOp::Mark(_)))
+            .count();
+        assert_eq!(marks, 6); // 5 iteration starts + final
+    }
+
+    #[test]
+    fn pingpong_only_endpoints_communicate() {
+        let scripts = Microbench::Pingpong.scripts(6, 8, 2);
+        for (r, s) in scripts.iter().enumerate() {
+            let comm_ops = s
+                .ops
+                .iter()
+                .filter(|op| !matches!(op, MpiOp::Mark(_)))
+                .count();
+            if r == 0 || r == 5 {
+                assert_eq!(comm_ops, 4);
+            } else {
+                assert_eq!(comm_ops, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_sizes_nonempty_and_sorted() {
+        for mb in Microbench::ALL {
+            let sizes = mb.paper_sizes();
+            assert!(!sizes.is_empty());
+            assert!(sizes.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}

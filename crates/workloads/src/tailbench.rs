@@ -1,0 +1,193 @@
+//! Tailbench latency-critical datacenter proxies (paper Table I, Fig. 8).
+//!
+//! Silo, Sphinx, Xapian and Img-dnn are single-client single-server
+//! request/response applications. The paper selected them because they
+//! "cover a wide range of latencies, from microseconds (Silo) to seconds
+//! (Sphinx)". Each proxy preserves the request/response message sizes and
+//! a log-normal service-time distribution calibrated to the paper's Fig. 8
+//! isolated medians.
+
+use slingshot_des::{DetRng, SimDuration};
+use slingshot_mpi::{MpiOp, Script};
+
+/// The Tailbench applications of Fig. 8.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TailApp {
+    /// In-memory OLTP database: tiny requests, µs-scale service.
+    Silo,
+    /// Speech recognition: large audio requests, seconds of service.
+    Sphinx,
+    /// Search engine over a Wikipedia index: ms-scale service.
+    Xapian,
+    /// Handwritten-character DNN autoencoder: ms-scale service.
+    ImgDnn,
+}
+
+/// Service/request/response parameters of one app.
+#[derive(Clone, Copy, Debug)]
+pub struct TailParams {
+    /// Request payload bytes (client → server).
+    pub request_bytes: u64,
+    /// Response payload bytes (server → client).
+    pub response_bytes: u64,
+    /// Median service time.
+    pub service_median: SimDuration,
+    /// Log-normal sigma of the service time (tail heaviness).
+    pub service_sigma: f64,
+}
+
+impl TailApp {
+    /// All apps in the paper's panel order.
+    pub const ALL: [TailApp; 4] = [
+        TailApp::Silo,
+        TailApp::Sphinx,
+        TailApp::Xapian,
+        TailApp::ImgDnn,
+    ];
+
+    /// Paper label.
+    pub fn label(self) -> &'static str {
+        match self {
+            TailApp::Silo => "silo",
+            TailApp::Sphinx => "sphinx",
+            TailApp::Xapian => "xapian",
+            TailApp::ImgDnn => "img-dnn",
+        }
+    }
+
+    /// Calibrated parameters (medians match the paper's Fig. 8 isolated
+    /// Slingshot panels: silo ≈ 0.2 ms, sphinx ≈ 1.3 s, xapian ≈ 2.5 ms,
+    /// img-dnn ≈ 1.0 ms).
+    pub fn params(self) -> TailParams {
+        match self {
+            TailApp::Silo => TailParams {
+                request_bytes: 128,
+                response_bytes: 1 << 10,
+                service_median: SimDuration::from_us(180),
+                service_sigma: 0.18,
+            },
+            TailApp::Sphinx => TailParams {
+                request_bytes: 64 << 10,
+                response_bytes: 512,
+                service_median: SimDuration::from_ms(1300),
+                service_sigma: 0.10,
+            },
+            TailApp::Xapian => TailParams {
+                request_bytes: 256,
+                response_bytes: 8 << 10,
+                service_median: SimDuration::from_us(2500),
+                service_sigma: 0.20,
+            },
+            TailApp::ImgDnn => TailParams {
+                request_bytes: 8 << 10,
+                response_bytes: 128,
+                service_median: SimDuration::from_us(1000),
+                service_sigma: 0.15,
+            },
+        }
+    }
+
+    /// Build the `(client, server)` scripts for `requests` closed-loop
+    /// requests. Service times are pre-sampled with `seed` (deterministic).
+    ///
+    /// The client brackets every request with `Mark`s, so per-request
+    /// latencies fall out of consecutive mark deltas.
+    pub fn scripts(self, requests: u32, seed: u64) -> (Script, Script) {
+        self.scripts_scaled(requests, seed, 1.0)
+    }
+
+    /// Like [`Self::scripts`] with service times multiplied by
+    /// `service_scale`. Used by quick experiment modes to compress
+    /// Sphinx's seconds-long services into a tractable simulation; note
+    /// that compressing the service time inflates the communication share
+    /// and therefore the measured congestion impact (documented in
+    /// EXPERIMENTS.md).
+    pub fn scripts_scaled(self, requests: u32, seed: u64, service_scale: f64) -> (Script, Script) {
+        let p = self.params();
+        let mut rng = DetRng::seed_from(seed ^ 0x7A11BE7C);
+        let mut client = Script::new();
+        let mut server = Script::new();
+        for i in 0..requests {
+            client.push(MpiOp::Mark(i));
+            client.push(MpiOp::Send {
+                dst: 1,
+                bytes: p.request_bytes,
+                tag: i,
+            });
+            client.push(MpiOp::Recv { src: 1, tag: i });
+            server.push(MpiOp::Recv { src: 0, tag: i });
+            let service = p
+                .service_median
+                .mul_f64(rng.log_normal(1.0, p.service_sigma) * service_scale);
+            server.push(MpiOp::Compute(service));
+            server.push(MpiOp::Send {
+                dst: 0,
+                bytes: p.response_bytes,
+                tag: i,
+            });
+        }
+        client.push(MpiOp::Mark(requests));
+        (client, server)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slingshot_mpi::coll::validate_matching;
+
+    #[test]
+    fn all_apps_match() {
+        for app in TailApp::ALL {
+            let (c, s) = app.scripts(5, 42);
+            validate_matching(&vec![c.ops, s.ops])
+                .unwrap_or_else(|e| panic!("{}: {e}", app.label()));
+        }
+    }
+
+    #[test]
+    fn latency_ranges_span_microseconds_to_seconds() {
+        let silo = TailApp::Silo.params().service_median;
+        let sphinx = TailApp::Sphinx.params().service_median;
+        assert!(silo < SimDuration::from_ms(1));
+        assert!(sphinx > SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn scripts_are_deterministic_per_seed() {
+        let (c1, s1) = TailApp::Xapian.scripts(10, 7);
+        let (c2, s2) = TailApp::Xapian.scripts(10, 7);
+        assert_eq!(c1.ops, c2.ops);
+        assert_eq!(s1.ops, s2.ops);
+        let (_, s3) = TailApp::Xapian.scripts(10, 8);
+        assert_ne!(s1.ops, s3.ops, "different seeds must vary service times");
+    }
+
+    #[test]
+    fn client_marks_every_request() {
+        let (c, _) = TailApp::ImgDnn.scripts(7, 1);
+        let marks = c.ops.iter().filter(|o| matches!(o, MpiOp::Mark(_))).count();
+        assert_eq!(marks, 8);
+    }
+
+    #[test]
+    fn service_times_vary_around_median() {
+        let p = TailApp::Silo.params();
+        let (_, s) = TailApp::Silo.scripts(200, 3);
+        let services: Vec<f64> = s
+            .ops
+            .iter()
+            .filter_map(|op| match op {
+                MpiOp::Compute(d) => Some(d.as_us_f64()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(services.len(), 200);
+        let mut sorted = services.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[100];
+        let target = p.service_median.as_us_f64();
+        assert!((median - target).abs() / target < 0.15, "median {median}");
+        assert!(sorted[199] > sorted[0], "no variance");
+    }
+}

@@ -1,0 +1,54 @@
+//! The paper's headline result as a two-minute demo: an incast aggressor
+//! crushes a latency-sensitive victim on an Aries-class network but barely
+//! dents it on Slingshot.
+//!
+//! ```text
+//! cargo run --release --example congestion_duel
+//! ```
+
+use slingshot::Profile;
+use slingshot_experiments::{run_pair, Cell, Victim};
+use slingshot::topology::AllocationPolicy;
+use slingshot_workloads::{Congestor, HpcApp, Microbench};
+
+fn main() {
+    let victims = [
+        Victim::Micro(Microbench::Pingpong, 8),
+        Victim::Micro(Microbench::Allreduce, 8),
+        Victim::App(HpcApp::Lammps),
+    ];
+    println!("64-node dragonfly, interleaved allocation, 50 % incast aggressor\n");
+    println!(
+        "{:<16} {:>14} {:>14}",
+        "victim", "Aries impact", "Slingshot impact"
+    );
+    println!("{}", "-".repeat(46));
+    for victim in victims {
+        let mut impacts = Vec::new();
+        for profile in [Profile::Aries, Profile::Slingshot] {
+            let cell = Cell {
+                profile,
+                nodes: 64,
+                victim_nodes: 32,
+                policy: AllocationPolicy::Interleaved,
+                aggressor: Some(Congestor::Incast),
+                aggressor_ppn: 1,
+                seed: 7,
+            };
+            let (_, _, impact) = run_pair(&cell, victim, 5, 1_000_000_000);
+            impacts.push(impact);
+        }
+        println!(
+            "{:<16} {:>13.2}x {:>13.2}x",
+            victim.label(),
+            impacts[0],
+            impacts[1]
+        );
+    }
+    println!(
+        "\nThe paper reports slowdowns up to 93x on Aries vs at most 1.3x on \
+         Slingshot\n(Fig. 9): per-endpoint-pair congestion control throttles \
+         only the incast\ncontributors, so victims keep their full windows \
+         and shallow queues."
+    );
+}

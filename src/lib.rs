@@ -1,0 +1,3 @@
+//! Umbrella crate: re-exports for examples and integration tests.
+pub use slingshot;
+

@@ -1,0 +1,80 @@
+//! Property-based cross-crate tests: whatever topology, profile and
+//! workload we throw at the simulator, every byte is delivered, every
+//! buffer credit is returned, and the clock only moves forward.
+
+use proptest::prelude::*;
+use slingshot::network::{Network, NetworkConfig, Notification};
+use slingshot::topology::{DragonflyParams, NodeId};
+
+fn arb_params() -> impl Strategy<Value = DragonflyParams> {
+    (1u32..4, 1u32..4, 1u32..5, 1u32..3).prop_map(|(g, a, p, m)| DragonflyParams {
+        groups: g,
+        switches_per_group: a,
+        endpoints_per_switch: p,
+        global_links_per_pair: if g > 1 { m } else { 0 },
+        intra_links_per_pair: 1,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random traffic on a random dragonfly: everything is delivered and
+    /// the network drains back to a pristine state.
+    #[test]
+    fn conservation_on_random_traffic(
+        params in arb_params(),
+        msgs in proptest::collection::vec((0u32..1000, 0u32..1000, 1u64..100_000), 1..40),
+        aries in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let mut cfg = if aries {
+            NetworkConfig::aries(params)
+        } else {
+            NetworkConfig::slingshot(params)
+        };
+        cfg.seed = seed;
+        let n = params.total_nodes();
+        let mut net = Network::new(cfg);
+        let mut expected_bytes = 0u64;
+        for &(src, dst, bytes) in &msgs {
+            net.send(NodeId(src % n), NodeId(dst % n), bytes, 0, 0);
+            expected_bytes += bytes;
+        }
+        net.run_to_quiescence(400_000_000);
+        let delivered: Vec<Notification> = net.take_notifications();
+        let delivered_count = delivered
+            .iter()
+            .filter(|x| matches!(x, Notification::Delivered { .. }))
+            .count();
+        prop_assert_eq!(delivered_count, msgs.len());
+        prop_assert_eq!(net.stats().payload_delivered, expected_bytes);
+        net.assert_quiescent_invariants();
+    }
+
+    /// Delivery timestamps never precede submission, and per-pair payload
+    /// accounting matches.
+    #[test]
+    fn causality_and_accounting(
+        msgs in proptest::collection::vec((0u32..16, 0u32..16, 1u64..50_000), 1..30),
+        seed in any::<u64>(),
+    ) {
+        let mut cfg = NetworkConfig::slingshot(slingshot::topology::tiny());
+        cfg.seed = seed;
+        let mut net = Network::new(cfg);
+        let mut per_dst = vec![0u64; 16];
+        for &(src, dst, bytes) in &msgs {
+            net.send(NodeId(src), NodeId(dst), bytes, 0, 0);
+            per_dst[(dst % 16) as usize] += bytes;
+        }
+        net.run_to_quiescence(200_000_000);
+        for note in net.take_notifications() {
+            if let Notification::Delivered { submitted_at, delivered_at, .. } = note {
+                prop_assert!(delivered_at >= submitted_at);
+            }
+        }
+        for (i, &expect) in per_dst.iter().enumerate() {
+            prop_assert_eq!(net.delivered_payload(NodeId(i as u32)), expect);
+        }
+    }
+}
