@@ -20,6 +20,31 @@ fn bench_event_queue(c: &mut Criterion) {
             black_box(acc)
         })
     });
+    // The hold model is the queue's steady state in a running simulation:
+    // a large standing event population where every pop reschedules a new
+    // event a bounded jitter ahead. Both sizes sit above the hybrid
+    // queue's migration threshold, so they exercise the calendar mode —
+    // whose O(1) access beats the binary heap's O(log n) here, while
+    // `push_pop_1k` (below the threshold) exercises the heap mode.
+    for &n in &[32_768u64, 262_144] {
+        c.bench_function(format!("event_queue_hold_{}k", n >> 10), |b| {
+            let mut q = EventQueue::with_capacity(n as usize);
+            let mut jitter: u64 = 0x2545_F491_4F6C_DD1D;
+            for i in 0..n {
+                q.push(SimTime::from_ps(i * 997 % 1_000_000), i);
+            }
+            b.iter(|| {
+                let (t, v) = q.pop().expect("population is standing");
+                // xorshift keeps the reschedule offsets cheap and
+                // deterministic without an RNG in the timed loop.
+                jitter ^= jitter << 13;
+                jitter ^= jitter >> 7;
+                jitter ^= jitter << 17;
+                q.push(SimTime::from_ps(t.as_ps() + 1_000 + jitter % 20_000), v);
+                black_box(t)
+            })
+        });
+    }
 }
 
 fn bench_rng(c: &mut Criterion) {
@@ -39,8 +64,8 @@ fn bench_arbiter(c: &mut Criterion) {
     c.bench_function("arbiter_16x8_round", |b| {
         let mut arb = Arbiter16x8::new();
         let mut req = [None; 16];
-        for i in 0..16 {
-            req[i] = Some((i % 8) as u8);
+        for (i, r) in req.iter_mut().enumerate() {
+            *r = Some((i % 8) as u8);
         }
         b.iter(|| black_box(arb.arbitrate(&req)))
     });

@@ -1,9 +1,9 @@
 //! Fig. 10 bench: one allocation-policy comparison cell.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use slingshot::topology::AllocationPolicy;
 use slingshot::Profile;
 use slingshot_experiments::{run_cell, Cell, Victim};
-use slingshot::topology::AllocationPolicy;
 use slingshot_workloads::{Congestor, Microbench};
 
 fn bench(c: &mut Criterion) {

@@ -1,9 +1,9 @@
 //! Fig. 11 bench: one full-scale-style random-allocation cell.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use slingshot::topology::AllocationPolicy;
 use slingshot::Profile;
 use slingshot_experiments::{run_cell, Cell, Victim};
-use slingshot::topology::AllocationPolicy;
 use slingshot_workloads::{Congestor, HpcApp};
 
 fn bench(c: &mut Criterion) {
@@ -19,9 +19,7 @@ fn bench(c: &mut Criterion) {
         seed: 11,
     };
     g.bench_function("lammps_75pct_incast_random", |b| {
-        b.iter(|| {
-            black_box(run_cell(&cell, Victim::App(HpcApp::Lammps), 2, 500_000_000))
-        })
+        b.iter(|| black_box(run_cell(&cell, Victim::App(HpcApp::Lammps), 2, 500_000_000)))
     });
     g.finish();
 }

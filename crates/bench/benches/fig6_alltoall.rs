@@ -1,8 +1,8 @@
 //! Fig. 6 bench: one alltoall bandwidth point on a scaled Shandy.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use slingshot_experiments::{fig6, Scale};
 use slingshot::topology::shandy_scaled;
+use slingshot_experiments::{fig6, Scale};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig6");

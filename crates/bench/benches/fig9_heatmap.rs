@@ -1,9 +1,9 @@
 //! Fig. 9 bench: one heatmap cell pair (isolated + loaded).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use slingshot::topology::AllocationPolicy;
 use slingshot::Profile;
 use slingshot_experiments::{run_pair, Cell, Victim};
-use slingshot::topology::AllocationPolicy;
 use slingshot_workloads::{Congestor, Microbench};
 
 fn bench(c: &mut Criterion) {

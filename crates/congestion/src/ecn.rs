@@ -116,8 +116,7 @@ impl CongestionControl for EcnCc {
         let marked = feedback.ejection_queue_bytes >= params.mark_threshold_bytes;
         let st = self.state(dst);
         if marked && now.saturating_since(st.last_reaction) >= params.reaction_interval {
-            st.window =
-                ((st.window as f64 * params.decrease_factor) as u64).max(params.min_window);
+            st.window = ((st.window as f64 * params.decrease_factor) as u64).max(params.min_window);
             st.last_reaction = now;
             st.last_recovery = now;
             self.throttles += 1;

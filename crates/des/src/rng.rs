@@ -35,7 +35,7 @@ impl DetRng {
     pub fn fork(&self, stream: u64) -> Self {
         let mut child = self.inner.clone();
         child.set_stream(stream.wrapping_add(1)); // avoid colliding with parent stream 0
-        // Decorrelate position as well: skip ahead based on the stream id.
+                                                  // Decorrelate position as well: skip ahead based on the stream id.
         let mut child = DetRng { inner: child };
         let _ = child.inner.next_u64();
         child

@@ -7,14 +7,15 @@
 //! aggressiveness.
 
 use crate::congestion::{machine_for, Victim, WARMUP};
+use crate::runner;
 use crate::scale::Scale;
 use serde::Serialize;
-use slingshot::network::{CcConfig, Network};
-use slingshot::{Profile, System, SystemBuilder};
 use slingshot::congestion::SlingshotCcParams;
+use slingshot::network::{CcConfig, Network};
+use slingshot::routing::RoutingAlgorithm;
+use slingshot::{Profile, System, SystemBuilder};
 use slingshot_des::SimDuration;
 use slingshot_mpi::{Engine, Job, ProtocolStack};
-use slingshot::routing::RoutingAlgorithm;
 use slingshot_stats::Sample;
 use slingshot_topology::{Allocation, AllocationPolicy};
 use slingshot_workloads::{Congestor, Microbench};
@@ -59,21 +60,21 @@ fn impact_with(net_builder: impl Fn() -> Network, iters: u32, budget: u64) -> f6
 /// Sweep the congestion-control algorithm.
 pub fn cc_algorithms(scale: Scale) -> Vec<AblationRow> {
     let nodes = 32;
-    let iters = scale.iterations().min(6).max(3);
+    let iters = scale.iterations().clamp(3, 6);
     let budget = scale.event_budget();
-    [
+    let variants = [
         ("none (Aries-style)", Profile::Aries),
         ("ECN-like slow loop", Profile::SlingshotEcn),
         ("Slingshot per-pair", Profile::Slingshot),
-    ]
-    .into_iter()
-    .map(|(label, profile)| {
+    ];
+    runner::par_map(&variants, |&(label, profile)| {
         // Keep everything but CC constant: use the Slingshot link/latency
         // profile with the CC swapped in.
         let builder = move || {
-            let mut cfg = SystemBuilder::new(System::Custom(machine_for(nodes)), Profile::Slingshot)
-                .seed(21)
-                .config();
+            let mut cfg =
+                SystemBuilder::new(System::Custom(machine_for(nodes)), Profile::Slingshot)
+                    .seed(21)
+                    .config();
             cfg.cc = SystemBuilder::new(System::Custom(machine_for(nodes)), profile)
                 .config()
                 .cc;
@@ -85,22 +86,20 @@ pub fn cc_algorithms(scale: Scale) -> Vec<AblationRow> {
             incast_impact: impact_with(builder, iters, budget),
         }
     })
-    .collect()
 }
 
 /// Sweep the routing algorithm (under an all-to-all aggressor, where
 /// routing matters most).
 pub fn routing_algorithms(scale: Scale) -> Vec<AblationRow> {
     let nodes = 32;
-    let iters = scale.iterations().min(6).max(3);
+    let iters = scale.iterations().clamp(3, 6);
     let budget = scale.event_budget();
-    [
+    let variants = [
         ("minimal only", RoutingAlgorithm::Minimal),
         ("Valiant always", RoutingAlgorithm::Valiant),
         ("UGAL adaptive", RoutingAlgorithm::Adaptive),
-    ]
-    .into_iter()
-    .map(|(label, routing)| {
+    ];
+    runner::par_map(&variants, |&(label, routing)| {
         let builder = move || {
             SystemBuilder::new(System::Custom(machine_for(nodes)), Profile::Slingshot)
                 .routing(routing)
@@ -113,64 +112,59 @@ pub fn routing_algorithms(scale: Scale) -> Vec<AblationRow> {
             incast_impact: impact_with(builder, iters, budget),
         }
     })
-    .collect()
 }
 
 /// Sweep the CC stiffness: the multiplicative decrease applied on a
 /// congested ack.
 pub fn cc_stiffness(scale: Scale) -> Vec<AblationRow> {
     let nodes = 32;
-    let iters = scale.iterations().min(6).max(3);
+    let iters = scale.iterations().clamp(3, 6);
     let budget = scale.event_budget();
-    [0.9, 0.5, 0.25]
-        .into_iter()
-        .map(|factor| {
-            let builder = move || {
-                let mut cfg =
-                    SystemBuilder::new(System::Custom(machine_for(nodes)), Profile::Slingshot)
-                        .seed(23)
-                        .config();
-                cfg.cc = CcConfig::Slingshot(SlingshotCcParams {
-                    decrease_factor: factor,
-                    ..SlingshotCcParams::default()
-                });
-                Network::new(cfg)
-            };
-            AblationRow {
-                dimension: "cc decrease factor",
-                variant: format!("x{factor}"),
-                incast_impact: impact_with(builder, iters, budget),
-            }
-        })
-        .collect()
+    let variants = [0.9, 0.5, 0.25];
+    runner::par_map(&variants, |&factor| {
+        let builder = move || {
+            let mut cfg =
+                SystemBuilder::new(System::Custom(machine_for(nodes)), Profile::Slingshot)
+                    .seed(23)
+                    .config();
+            cfg.cc = CcConfig::Slingshot(SlingshotCcParams {
+                decrease_factor: factor,
+                ..SlingshotCcParams::default()
+            });
+            Network::new(cfg)
+        };
+        AblationRow {
+            dimension: "cc decrease factor",
+            variant: format!("x{factor}"),
+            incast_impact: impact_with(builder, iters, budget),
+        }
+    })
 }
 
 /// Sweep the CC recovery hold-off (how fast throttled flows probe back).
 pub fn cc_recovery(scale: Scale) -> Vec<AblationRow> {
     let nodes = 32;
-    let iters = scale.iterations().min(6).max(3);
+    let iters = scale.iterations().clamp(3, 6);
     let budget = scale.event_budget();
-    [1u64, 5, 50]
-        .into_iter()
-        .map(|holdoff_us| {
-            let builder = move || {
-                let mut cfg =
-                    SystemBuilder::new(System::Custom(machine_for(nodes)), Profile::Slingshot)
-                        .seed(24)
-                        .config();
-                cfg.cc = CcConfig::Slingshot(SlingshotCcParams {
-                    recovery_holdoff: SimDuration::from_us(holdoff_us),
-                    ..SlingshotCcParams::default()
-                });
-                Network::new(cfg)
-            };
-            AblationRow {
-                dimension: "cc recovery holdoff",
-                variant: format!("{holdoff_us}us"),
-                incast_impact: impact_with(builder, iters, budget),
-            }
-        })
-        .collect()
+    let variants = [1u64, 5, 50];
+    runner::par_map(&variants, |&holdoff_us| {
+        let builder = move || {
+            let mut cfg =
+                SystemBuilder::new(System::Custom(machine_for(nodes)), Profile::Slingshot)
+                    .seed(24)
+                    .config();
+            cfg.cc = CcConfig::Slingshot(SlingshotCcParams {
+                recovery_holdoff: SimDuration::from_us(holdoff_us),
+                ..SlingshotCcParams::default()
+            });
+            Network::new(cfg)
+        };
+        AblationRow {
+            dimension: "cc recovery holdoff",
+            variant: format!("{holdoff_us}us"),
+            incast_impact: impact_with(builder, iters, budget),
+        }
+    })
 }
 
 /// Run every ablation.

@@ -2,12 +2,16 @@
 //! isolation (not a paper figure; see DESIGN.md).
 
 use slingshot_experiments::report::{save_json, Table};
-use slingshot_experiments::{ablation, Scale};
+use slingshot_experiments::{ablation, runner, RunConfig};
 
 fn main() {
-    let scale = Scale::from_args();
-    let rows = ablation::run(scale);
-    println!("Ablations — 8B allreduce victim vs 50% incast, interleaved ({})", scale.label());
+    let cfg = RunConfig::from_args();
+    let scale = cfg.scale;
+    let rows = runner::with_jobs(cfg.jobs, || ablation::run(scale));
+    println!(
+        "Ablations — 8B allreduce victim vs 50% incast, interleaved ({})",
+        scale.label()
+    );
     println!();
     let mut t = Table::new(["dimension", "variant", "incast impact"]);
     for r in &rows {

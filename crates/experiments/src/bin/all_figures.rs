@@ -1,6 +1,7 @@
-//! Runs every figure reproduction at the selected scale, in order.
+//! Runs every figure reproduction at the selected scale, in order,
+//! forwarding `--jobs` to each figure binary.
 
-use slingshot_experiments::Scale;
+use slingshot_experiments::RunConfig;
 use std::process::Command;
 
 const FIGS: [&str; 11] = [
@@ -18,7 +19,7 @@ const FIGS: [&str; 11] = [
 ];
 
 fn main() {
-    let scale = Scale::from_args();
+    let cfg = RunConfig::from_args();
     let exe_dir = std::env::current_exe()
         .expect("current exe")
         .parent()
@@ -27,7 +28,8 @@ fn main() {
     for fig in FIGS {
         println!("\n================ {fig} ================\n");
         let status = Command::new(exe_dir.join(fig))
-            .arg(format!("--{}", scale.label()))
+            .arg(format!("--{}", cfg.scale.label()))
+            .arg(format!("--jobs={}", cfg.jobs))
             .status()
             .expect("spawn figure binary");
         assert!(status.success(), "{fig} failed");

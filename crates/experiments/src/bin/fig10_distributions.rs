@@ -1,14 +1,26 @@
 //! Reproduces Fig. 10: impact distributions across allocations/PPN/size.
 
 use slingshot_experiments::report::{fmt_impact, save_json, Table};
-use slingshot_experiments::{fig10, Scale};
+use slingshot_experiments::{fig10, runner, RunConfig};
 
 fn main() {
-    let scale = Scale::from_args();
-    let rows = fig10::run(scale);
-    println!("Fig. 10 — congestion-impact distributions ({})", scale.label());
+    let cfg = RunConfig::from_args();
+    let scale = cfg.scale;
+    let rows = runner::with_jobs(cfg.jobs, || fig10::run(scale));
+    println!(
+        "Fig. 10 — congestion-impact distributions ({})",
+        scale.label()
+    );
     println!();
-    let mut t = Table::new(["panel", "network", "allocation", "min", "median", "max", "cells"]);
+    let mut t = Table::new([
+        "panel",
+        "network",
+        "allocation",
+        "min",
+        "median",
+        "max",
+        "cells",
+    ]);
     for r in &rows {
         t.row([
             r.panel.to_string(),

@@ -1,12 +1,16 @@
 //! Reproduces Fig. 11: congestion impact at full system scale.
 
 use slingshot_experiments::report::{fmt_impact, save_json, Table};
-use slingshot_experiments::{fig11, Scale};
+use slingshot_experiments::{fig11, runner, RunConfig};
 
 fn main() {
-    let scale = Scale::from_args();
-    let rows = fig11::run(scale);
-    println!("Fig. 11 — full-scale congestion impact, random allocation ({})", scale.label());
+    let cfg = RunConfig::from_args();
+    let scale = cfg.scale;
+    let rows = runner::with_jobs(cfg.jobs, || fig11::run(scale));
+    println!(
+        "Fig. 11 — full-scale congestion impact, random allocation ({})",
+        scale.label()
+    );
     println!();
     let mut t = Table::new(["aggressor", "share", "victim", "impact"]);
     for r in &rows {
@@ -25,6 +29,8 @@ fn main() {
     t.print();
     println!();
     println!("(* victim rank count rounded down to a power of two; the paper lists N.A.)");
-    println!("paper: worst case 3.55x (LAMMPS, 75% incast); congestion control holds at 1024 nodes.");
+    println!(
+        "paper: worst case 3.55x (LAMMPS, 75% incast); congestion control holds at 1024 nodes."
+    );
     save_json(&format!("fig11_{}", scale.label()), &rows);
 }

@@ -1,11 +1,12 @@
 //! Reproduces Fig. 12: bursty incast vs a 128 B MPI_Alltoall victim.
 
 use slingshot_experiments::report::{fmt_bytes, save_json, Table};
-use slingshot_experiments::{fig12, Scale};
+use slingshot_experiments::{fig12, runner, RunConfig};
 
 fn main() {
-    let scale = Scale::from_args();
-    let rows = fig12::run(scale);
+    let cfg = RunConfig::from_args();
+    let scale = cfg.scale;
+    let rows = runner::with_jobs(cfg.jobs, || fig12::run(scale));
     println!("Fig. 12 — bursty incast congestion ({})", scale.label());
     println!();
     let mut t = Table::new(["aggr size", "burst (msgs)", "gap (us)", "impact"]);

@@ -1,12 +1,16 @@
 //! Reproduces Fig. 13: traffic-class isolation of an 8 B allreduce.
 
 use slingshot_experiments::report::{save_json, Table};
-use slingshot_experiments::{fig13, Scale};
+use slingshot_experiments::{fig13, runner, RunConfig};
 
 fn main() {
-    let scale = Scale::from_args();
-    let rows = fig13::run(scale);
-    println!("Fig. 13 — 8B allreduce + 256KiB alltoall, same vs separate TCs ({})", scale.label());
+    let cfg = RunConfig::from_args();
+    let scale = cfg.scale;
+    let rows = runner::with_jobs(cfg.jobs, || fig13::run(scale));
+    println!(
+        "Fig. 13 — 8B allreduce + 256KiB alltoall, same vs separate TCs ({})",
+        scale.label()
+    );
     println!();
     // Bucket the timeline for readability.
     let mut t = Table::new(["classes", "time bucket (ms)", "mean impact", "iters"]);

@@ -2,12 +2,16 @@
 
 use slingshot_experiments::fig14::window_mean;
 use slingshot_experiments::report::{save_json, Table};
-use slingshot_experiments::{fig14, Scale};
+use slingshot_experiments::{fig14, runner, RunConfig};
 
 fn main() {
-    let scale = Scale::from_args();
-    let rows = fig14::run(scale);
-    println!("Fig. 14 — two bisection jobs, same vs separate TCs ({})", scale.label());
+    let cfg = RunConfig::from_args();
+    let scale = cfg.scale;
+    let rows = runner::with_jobs(cfg.jobs, || fig14::run(scale));
+    println!(
+        "Fig. 14 — two bisection jobs, same vs separate TCs ({})",
+        scale.label()
+    );
     println!();
     let mut t = Table::new(["classes", "time (ms)", "job1 Gb/s/node", "job2 Gb/s/node"]);
     for same in [true, false] {

@@ -1,12 +1,16 @@
 //! Reproduces Fig. 2: the Rosetta switch-latency distribution.
 
 use slingshot_experiments::report::{save_json, Table};
-use slingshot_experiments::{fig2, Scale};
+use slingshot_experiments::{fig2, runner, RunConfig};
 
 fn main() {
-    let scale = Scale::from_args();
-    let r = fig2::run(scale);
-    println!("Fig. 2 — Rosetta switch latency distribution ({})", scale.label());
+    let cfg = RunConfig::from_args();
+    let scale = cfg.scale;
+    let r = runner::with_jobs(cfg.jobs, || fig2::run(scale));
+    println!(
+        "Fig. 2 — Rosetta switch latency distribution ({})",
+        scale.label()
+    );
     println!();
     println!("mean   = {:>7.1} ns   (paper: ~350 ns)", r.mean_ns);
     println!("median = {:>7.1} ns   (paper: ~350 ns)", r.median_ns);

@@ -1,15 +1,26 @@
 //! Reproduces Fig. 4: latency/bandwidth vs node distance (isolated system).
 
 use slingshot_experiments::report::{fmt_bytes, save_json, Table};
-use slingshot_experiments::{fig4, Scale};
+use slingshot_experiments::{fig4, runner, RunConfig};
 
 fn main() {
-    let scale = Scale::from_args();
-    let rows = fig4::run(scale);
-    println!("Fig. 4 — node distance vs latency/bandwidth ({})", scale.label());
+    let cfg = RunConfig::from_args();
+    let scale = cfg.scale;
+    let rows = runner::with_jobs(cfg.jobs, || fig4::run(scale));
+    println!(
+        "Fig. 4 — node distance vs latency/bandwidth ({})",
+        scale.label()
+    );
     println!();
     let mut t = Table::new([
-        "distance", "size", "S(us)", "Q1(us)", "median(us)", "Q3(us)", "L(us)", "bw (Gb/s)",
+        "distance",
+        "size",
+        "S(us)",
+        "Q1(us)",
+        "median(us)",
+        "Q3(us)",
+        "L(us)",
+        "bw (Gb/s)",
     ]);
     for r in &rows {
         t.row([

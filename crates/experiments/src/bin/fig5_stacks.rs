@@ -1,16 +1,21 @@
 //! Reproduces Fig. 5: RTT/2 per software layer vs message size.
 
 use slingshot_experiments::report::{fmt_bytes, save_json, Table};
-use slingshot_experiments::{fig5, Scale};
+use slingshot_experiments::{fig5, runner, RunConfig};
 
 fn main() {
-    let scale = Scale::from_args();
-    let rows = fig5::run(scale);
+    let cfg = RunConfig::from_args();
+    let scale = cfg.scale;
+    let rows = runner::with_jobs(cfg.jobs, || fig5::run(scale));
     println!("Fig. 5 — RTT/2 by software layer ({})", scale.label());
     println!();
     let mut t = Table::new(["stack", "size", "RTT/2 (us)"]);
     for r in &rows {
-        t.row([r.stack.to_string(), fmt_bytes(r.bytes), format!("{:.3}", r.half_rtt_us)]);
+        t.row([
+            r.stack.to_string(),
+            fmt_bytes(r.bytes),
+            format!("{:.3}", r.half_rtt_us),
+        ]);
     }
     t.print();
     println!();

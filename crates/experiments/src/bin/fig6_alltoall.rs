@@ -1,14 +1,17 @@
 //! Reproduces Fig. 6: bisection and MPI_Alltoall bandwidth on Shandy.
 
 use slingshot_experiments::report::{fmt_bytes, save_json, Table};
-use slingshot_experiments::{fig6, Scale};
+use slingshot_experiments::{fig6, runner, RunConfig};
 
 fn main() {
-    let scale = Scale::from_args();
-    let r = fig6::run(scale);
+    let cfg = RunConfig::from_args();
+    let scale = cfg.scale;
+    let r = runner::with_jobs(cfg.jobs, || fig6::run(scale));
     println!(
         "Fig. 6 — bisection & alltoall bandwidth, {} groups / {} nodes ({})",
-        r.groups, r.nodes, scale.label()
+        r.groups,
+        r.nodes,
+        scale.label()
     );
     println!(
         "theoretical: bisection {:.1} Gb/s, alltoall {:.1} Gb/s",

@@ -1,15 +1,25 @@
 //! Reproduces Fig. 8: Tailbench latency distributions ± incast congestion.
 
 use slingshot_experiments::report::{save_json, Table};
-use slingshot_experiments::{fig8, Scale};
+use slingshot_experiments::{fig8, runner, RunConfig};
 
 fn main() {
-    let scale = Scale::from_args();
-    let rows = fig8::run(scale);
-    println!("Fig. 8 — Tailbench under endpoint congestion ({})", scale.label());
+    let cfg = RunConfig::from_args();
+    let scale = cfg.scale;
+    let rows = runner::with_jobs(cfg.jobs, || fig8::run(scale));
+    println!(
+        "Fig. 8 — Tailbench under endpoint congestion ({})",
+        scale.label()
+    );
     println!();
     let mut t = Table::new([
-        "app", "network", "congested", "median(ms)", "mean(ms)", "95p(ms)", "99p(ms)",
+        "app",
+        "network",
+        "congested",
+        "median(ms)",
+        "mean(ms)",
+        "95p(ms)",
+        "99p(ms)",
     ]);
     for r in &rows {
         t.row([

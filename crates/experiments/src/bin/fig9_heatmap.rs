@@ -2,12 +2,13 @@
 
 use slingshot_experiments::fig9::{run, HeatmapOpts};
 use slingshot_experiments::report::{fmt_impact, save_json, Table};
-use slingshot_experiments::Scale;
+use slingshot_experiments::{runner, RunConfig};
 
 fn main() {
-    let scale = Scale::from_args();
+    let cfg = RunConfig::from_args();
+    let scale = cfg.scale;
     let opts = HeatmapOpts::fig9(scale);
-    let cells = run(&opts);
+    let cells = runner::with_jobs(cfg.jobs, || run(&opts));
     println!("Fig. 9 — congestion impact heatmap ({})", scale.label());
     println!();
     for profile in ["Aries", "Slingshot"] {

@@ -12,8 +12,8 @@ use slingshot_des::{SimDuration, SimTime};
 use slingshot_mpi::{Engine, Job, ProtocolStack, Script};
 use slingshot_stats::Sample;
 use slingshot_topology::{shandy, Allocation, AllocationPolicy, DragonflyParams};
-use slingshot_workloads::{Congestor, HpcApp, Microbench, TailApp};
 use slingshot_workloads::ember;
+use slingshot_workloads::{Congestor, HpcApp, Microbench, TailApp};
 
 /// A victim workload of the paper's heatmaps.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -119,7 +119,7 @@ pub struct CellResult {
 /// (the shape of Crystal and of the paper's 128-node Malbec subset).
 pub fn machine_for(nodes: u32) -> DragonflyParams {
     assert!(
-        nodes >= 32 && nodes % 32 == 0,
+        nodes >= 32 && nodes.is_multiple_of(32),
         "node count must be a multiple of 32"
     );
     if nodes >= 512 {
@@ -172,9 +172,7 @@ pub fn run_cell(cell: &Cell, victim: Victim, iters: u32, event_budget: u64) -> C
 
     let durations = eng.iteration_durations(victim_job);
     assert!(!durations.is_empty(), "victim produced no iterations");
-    let mut sample = Sample::from_values(
-        durations.iter().map(|d| d.as_secs_f64()).collect(),
-    );
+    let mut sample = Sample::from_values(durations.iter().map(|d| d.as_secs_f64()).collect());
     CellResult {
         mean_secs: sample.mean(),
         median_secs: sample.median(),
@@ -192,7 +190,12 @@ pub fn congestion_impact(loaded: &CellResult, isolated: &CellResult) -> f64 {
 
 /// Run the isolated baseline and one loaded cell; returns
 /// `(isolated, loaded, impact)`.
-pub fn run_pair(cell: &Cell, victim: Victim, iters: u32, budget: u64) -> (CellResult, CellResult, f64) {
+pub fn run_pair(
+    cell: &Cell,
+    victim: Victim,
+    iters: u32,
+    budget: u64,
+) -> (CellResult, CellResult, f64) {
     let isolated_cell = Cell {
         aggressor: None,
         ..*cell
@@ -319,8 +322,6 @@ mod tests {
     #[test]
     fn default_victim_sets_grow_with_scale() {
         assert!(default_victims(Scale::Tiny).len() < default_victims(Scale::Quick).len());
-        assert!(
-            default_victims(Scale::Quick).len() < default_victims(Scale::Paper).len()
-        );
+        assert!(default_victims(Scale::Quick).len() < default_victims(Scale::Paper).len());
     }
 }

@@ -7,6 +7,7 @@
 //! moves). Panel C: 128 nodes (Aries max drops to ~40, Slingshot to 1.5).
 
 use crate::fig9::{run as run_heatmap, summarize, HeatmapOpts, ImpactSummary};
+use crate::runner;
 use crate::scale::Scale;
 use serde::Serialize;
 use slingshot::Profile;
@@ -47,35 +48,39 @@ fn panel_opts(scale: Scale, panel: char) -> (HeatmapOpts, u32) {
     (opts, ppn)
 }
 
-/// Run all three panels.
+/// Run all three panels. Each (panel, policy) heatmap is independent, so
+/// the 3 × 3 grid fans across the installed worker threads; each grid
+/// point's inner sweep then runs serially on its worker.
 pub fn run(scale: Scale) -> Vec<Fig10Row> {
-    let mut rows = Vec::new();
+    let mut grid = Vec::new();
     for panel in ['A', 'B', 'C'] {
-        let (base, _ppn) = panel_opts(scale, panel);
         for policy in AllocationPolicy::ALL {
-            let mut opts = base.clone();
-            opts.policy = policy;
-            let cells = run_heatmap(&opts);
-            for profile in [Profile::Aries, Profile::Slingshot] {
-                let name = match profile {
-                    Profile::Aries => "Aries",
-                    _ => "Slingshot",
-                };
-                let impacts: Vec<f64> = cells
-                    .iter()
-                    .filter(|c| c.profile == name)
-                    .map(|c| c.impact)
-                    .collect();
-                rows.push(Fig10Row {
-                    panel,
-                    profile: name,
-                    policy: policy.label(),
-                    summary: summarize(&impacts),
-                });
-            }
+            grid.push((panel, policy));
         }
     }
-    rows
+    let per_point = runner::par_map(&grid, |&(panel, policy)| {
+        let (mut opts, _ppn) = panel_opts(scale, panel);
+        opts.policy = policy;
+        let cells = run_heatmap(&opts);
+        [Profile::Aries, Profile::Slingshot].map(|profile| {
+            let name = match profile {
+                Profile::Aries => "Aries",
+                _ => "Slingshot",
+            };
+            let impacts: Vec<f64> = cells
+                .iter()
+                .filter(|c| c.profile == name)
+                .map(|c| c.impact)
+                .collect();
+            Fig10Row {
+                panel,
+                profile: name,
+                policy: policy.label(),
+                summary: summarize(&impacts),
+            }
+        })
+    });
+    per_point.into_iter().flatten().collect()
 }
 
 #[cfg(test)]

@@ -7,6 +7,7 @@
 //! nodes are N.A. (power-of-two requirement).
 
 use crate::congestion::{run_cell, Cell, Victim};
+use crate::runner;
 use crate::scale::Scale;
 use serde::Serialize;
 use slingshot::Profile;
@@ -34,10 +35,7 @@ pub struct Fig11Row {
 /// microbenchmarks.
 pub fn victims(scale: Scale) -> Vec<Victim> {
     let mut v: Vec<Victim> = match scale {
-        Scale::Tiny => vec![
-            Victim::App(HpcApp::Lammps),
-            Victim::Tail(TailApp::Silo),
-        ],
+        Scale::Tiny => vec![Victim::App(HpcApp::Lammps), Victim::Tail(TailApp::Silo)],
         _ => vec![
             Victim::App(HpcApp::Milc),
             Victim::App(HpcApp::Hpcg),
@@ -65,44 +63,77 @@ pub fn run(scale: Scale) -> Vec<Fig11Row> {
         Scale::Tiny => &[75],
         _ => &[25, 50, 75],
     };
-    let mut rows = Vec::new();
-    let mut isolated: HashMap<(String, u32), f64> = HashMap::new();
+    let base_cell = |victim_nodes| Cell {
+        profile: Profile::Slingshot,
+        nodes,
+        victim_nodes,
+        policy: AllocationPolicy::Random,
+        aggressor: None,
+        aggressor_ppn: 1,
+        seed: 11,
+    };
+
+    // Unique isolated baselines: different shares can collapse onto the
+    // same (victim, victim_nodes) baseline, so dedup before fanning out.
+    let vs = victims(scale);
+    let mut iso_points: Vec<(Victim, u32)> = Vec::new();
     for &share in shares {
         let victim_nodes = nodes - nodes * share / 100;
-        for victim in victims(scale) {
-            let rounded = victim.ranks_for(victim_nodes) != victim_nodes
-                && !matches!(victim, Victim::Tail(_));
-            let base_cell = Cell {
-                profile: Profile::Slingshot,
-                nodes,
-                victim_nodes,
-                policy: AllocationPolicy::Random,
-                aggressor: None,
-                aggressor_ppn: 1,
-                seed: 11,
-            };
+        for &victim in &vs {
             let key = (victim.label(), victim_nodes);
-            let base = *isolated.entry(key).or_insert_with(|| {
-                run_cell(&base_cell, victim, scale.iterations(), scale.event_budget())
-                    .mean_secs
-            });
-            for aggressor in [Congestor::AllToAll, Congestor::Incast] {
-                let cell = Cell {
-                    aggressor: Some(aggressor),
-                    ..base_cell
-                };
-                let r = run_cell(&cell, victim, scale.iterations(), scale.event_budget());
-                rows.push(Fig11Row {
-                    aggressor: aggressor.label(),
-                    share,
-                    victim: victim.label(),
-                    impact: Some(r.mean_secs / base),
-                    rounded,
-                });
+            if !iso_points.iter().any(|&(v, n)| (v.label(), n) == key) {
+                iso_points.push((victim, victim_nodes));
             }
         }
     }
-    rows
+    let iso_means = runner::par_map(&iso_points, |&(victim, victim_nodes)| {
+        run_cell(
+            &base_cell(victim_nodes),
+            victim,
+            scale.iterations(),
+            scale.event_budget(),
+        )
+        .mean_secs
+    });
+    let isolated: HashMap<(String, u32), f64> = iso_points
+        .iter()
+        .zip(&iso_means)
+        .map(|(&(victim, victim_nodes), &mean)| ((victim.label(), victim_nodes), mean))
+        .collect();
+
+    // Loaded cells in the figure's row order.
+    let mut loaded_points: Vec<(u32, u32, Victim, Congestor)> = Vec::new();
+    for &share in shares {
+        let victim_nodes = nodes - nodes * share / 100;
+        for &victim in &vs {
+            for aggressor in [Congestor::AllToAll, Congestor::Incast] {
+                loaded_points.push((share, victim_nodes, victim, aggressor));
+            }
+        }
+    }
+    let loaded_means = runner::par_map(&loaded_points, |&(_, victim_nodes, victim, aggressor)| {
+        let cell = Cell {
+            aggressor: Some(aggressor),
+            ..base_cell(victim_nodes)
+        };
+        run_cell(&cell, victim, scale.iterations(), scale.event_budget()).mean_secs
+    });
+    loaded_points
+        .iter()
+        .zip(&loaded_means)
+        .map(|(&(share, victim_nodes, victim, aggressor), &mean)| {
+            let rounded = victim.ranks_for(victim_nodes) != victim_nodes
+                && !matches!(victim, Victim::Tail(_));
+            let base = isolated[&(victim.label(), victim_nodes)];
+            Fig11Row {
+                aggressor: aggressor.label(),
+                share,
+                victim: victim.label(),
+                impact: Some(mean / base),
+                rounded,
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]

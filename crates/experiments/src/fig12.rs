@@ -10,6 +10,7 @@
 //! behaves like persistent congestion.
 
 use crate::congestion::{machine_for, Victim, WARMUP};
+use crate::runner;
 use crate::scale::Scale;
 use serde::Serialize;
 use slingshot::{Profile, System, SystemBuilder};
@@ -36,11 +37,7 @@ pub struct Fig12Row {
 /// Sweep axes per scale.
 pub fn axes(scale: Scale) -> (Vec<u64>, Vec<u64>, Vec<u64>) {
     match scale {
-        Scale::Tiny => (
-            vec![128 << 10],
-            vec![1, 100],
-            vec![1, 10_000],
-        ),
+        Scale::Tiny => (vec![128 << 10], vec![1, 100], vec![1, 10_000]),
         Scale::Quick => (
             vec![16 << 10, 128 << 10, 1 << 20],
             vec![1, 100, 10_000],
@@ -59,22 +56,32 @@ pub fn run(scale: Scale) -> Vec<Fig12Row> {
     let nodes = scale.congestion_nodes();
     let iters = scale.iterations().max(4);
     let (sizes, bursts, gaps) = axes(scale);
-    let isolated = measure(nodes, None, iters, scale);
-    let mut rows = Vec::new();
+    let mut points = Vec::new();
     for &bytes in &sizes {
         for &burst in &bursts {
             for &gap in &gaps {
-                let loaded = measure(nodes, Some((bytes, burst, gap)), iters, scale);
-                rows.push(Fig12Row {
-                    aggressor_bytes: bytes,
-                    burst_size: burst,
-                    gap_us: gap,
-                    impact: loaded / isolated,
-                });
+                points.push((bytes, burst, gap));
             }
         }
     }
-    rows
+    let (isolated, loaded) = runner::join(
+        || measure(nodes, None, iters, scale),
+        || {
+            runner::par_map(&points, |&(bytes, burst, gap)| {
+                measure(nodes, Some((bytes, burst, gap)), iters, scale)
+            })
+        },
+    );
+    points
+        .iter()
+        .zip(&loaded)
+        .map(|(&(bytes, burst, gap), &time)| Fig12Row {
+            aggressor_bytes: bytes,
+            burst_size: burst,
+            gap_us: gap,
+            impact: time / isolated,
+        })
+        .collect()
 }
 
 /// Mean victim iteration time with an optional bursty aggressor
@@ -88,13 +95,11 @@ fn measure(nodes: u32, aggressor: Option<(u64, u64, u64)>, iters: u32, scale: Sc
     let alloc = Allocation::split(nodes, nodes / 2, AllocationPolicy::Interleaved, 12);
     if let Some((bytes, burst, gap)) = aggressor {
         let job = Job::new(alloc.aggressor.clone());
-        let scripts =
-            bursty_incast_aggressor(job.ranks(), bytes, burst, SimDuration::from_us(gap));
+        let scripts = bursty_incast_aggressor(job.ranks(), bytes, burst, SimDuration::from_us(gap));
         eng.add_job(job, scripts, 0, slingshot_des::SimTime::ZERO);
     }
     let ranks = alloc.victim.len() as u32;
-    let scripts: Vec<Script> = Victim::Micro(Microbench::Alltoall, 128)
-        .scripts(ranks, iters, 12);
+    let scripts: Vec<Script> = Victim::Micro(Microbench::Alltoall, 128).scripts(ranks, iters, 12);
     let job = eng.add_job(Job::new(alloc.victim.clone()), scripts, 0, WARMUP);
     eng.run_to_completion(scale.event_budget());
     let s = Sample::from_values(

@@ -7,6 +7,7 @@
 //! class only ~1.15x.
 
 use crate::congestion::machine_for;
+use crate::runner;
 use crate::scale::Scale;
 use serde::Serialize;
 use slingshot::{Profile, System, SystemBuilder};
@@ -135,8 +136,8 @@ fn run_case(scale: Scale, same_class: bool, with_alltoall: bool) -> RunOutput {
 /// Run both cases; impacts are normalized by the pre-alltoall (quiet)
 /// iteration mean of each case.
 pub fn run(scale: Scale) -> Vec<Fig13Row> {
-    let mut rows = Vec::new();
-    for same_class in [true, false] {
+    let cases = [true, false];
+    let per_case = runner::par_map(&cases, |&same_class| {
         let out = run_case(scale, same_class, true);
         // Baseline: iterations that completed before the alltoall starts.
         let quiet: Vec<f64> = out
@@ -156,15 +157,16 @@ pub fn run(scale: Scale) -> Vec<Fig13Row> {
         } else {
             quiet.iter().sum::<f64>() / quiet.len() as f64
         };
-        for (start, dur) in &out.iterations {
-            rows.push(Fig13Row {
+        out.iterations
+            .iter()
+            .map(|(start, dur)| Fig13Row {
                 same_class,
                 time_ms: start.as_ms_f64(),
                 impact: dur.as_secs_f64() / quiet_mean,
-            });
-        }
-    }
-    rows
+            })
+            .collect::<Vec<_>>()
+    });
+    per_case.into_iter().flatten().collect()
 }
 
 #[cfg(test)]

@@ -8,13 +8,13 @@
 //! unallocated 10 %, which Slingshot hands to the class with the lowest
 //! share.
 
+use crate::runner;
 use crate::scale::Scale;
 use serde::Serialize;
 use slingshot::{Profile, System, SystemBuilder};
 use slingshot_des::SimTime;
 use slingshot_mpi::{Engine, Job, MpiOp, ProtocolStack, Script};
 use slingshot_qos::TrafficClassSet;
-
 
 /// One timeline sample.
 #[derive(Clone, Debug, Serialize)]
@@ -103,7 +103,12 @@ fn run_case(scale: Scale, same_class: bool) -> Vec<Fig14Row> {
     let j2 = Job::new(job2_nodes.clone());
     let r2 = j2.ranks();
     let tc2 = if same_class { 0 } else { 1 };
-    eng.add_job(j2, stream_scripts(r2, msg, None), tc2, SimTime::from_us(900));
+    eng.add_job(
+        j2,
+        stream_scripts(r2, msg, None),
+        tc2,
+        SimTime::from_us(900),
+    );
 
     let step = SimTime::from_us(100);
     let mut rows = Vec::new();
@@ -144,10 +149,10 @@ fn run_case(scale: Scale, same_class: bool) -> Vec<Fig14Row> {
     rows
 }
 
-/// Run both cases.
+/// Run both cases, potentially in parallel.
 pub fn run(scale: Scale) -> Vec<Fig14Row> {
-    let mut rows = run_case(scale, true);
-    rows.extend(run_case(scale, false));
+    let (mut rows, separate) = runner::join(|| run_case(scale, true), || run_case(scale, false));
+    rows.extend(separate);
     rows
 }
 
@@ -198,8 +203,10 @@ mod tests {
         assert!(overlap_sep_2 > 0.0);
         // Job 1's protected bandwidth: closer to its solo rate than the
         // fair share is.
-        assert!(overlap_sep_1 > overlap_same_1,
-            "guarantee did not help: {overlap_sep_1:.1} vs {overlap_same_1:.1}");
+        assert!(
+            overlap_sep_1 > overlap_same_1,
+            "guarantee did not help: {overlap_sep_1:.1} vs {overlap_same_1:.1}"
+        );
         let _ = solo_sep;
     }
 }

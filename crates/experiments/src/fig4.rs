@@ -5,6 +5,7 @@
 //! worst-case ~40 % latency penalty at 8 B, < 10-15 % differences beyond
 //! 16 KiB, and occasionally *higher* bandwidth across groups (more paths).
 
+use crate::runner;
 use crate::scale::Scale;
 use serde::Serialize;
 use slingshot::{Profile, System, SystemBuilder};
@@ -76,13 +77,13 @@ pub fn run(scale: Scale) -> Vec<Fig4Row> {
         Scale::Quick => 30,
         Scale::Paper => 200,
     };
-    let mut rows = Vec::new();
-    for distance in Distance::ALL {
-        for &bytes in &SIZES {
-            rows.push(measure(distance, bytes, iters));
-        }
-    }
-    rows
+    let points: Vec<(Distance, u64)> = Distance::ALL
+        .into_iter()
+        .flat_map(|d| SIZES.into_iter().map(move |b| (d, b)))
+        .collect();
+    runner::par_map(&points, |&(distance, bytes)| {
+        measure(distance, bytes, iters)
+    })
 }
 
 fn measure(distance: Distance, bytes: u64, iters: u32) -> Fig4Row {
@@ -95,18 +96,24 @@ fn measure(distance: Distance, bytes: u64, iters: u32) -> Fig4Row {
     let mut s1 = Script::new();
     for i in 0..iters {
         s0.push(MpiOp::Mark(i));
-        s0.push(MpiOp::Send { dst: 1, bytes, tag: i });
+        s0.push(MpiOp::Send {
+            dst: 1,
+            bytes,
+            tag: i,
+        });
         s0.push(MpiOp::Recv { src: 1, tag: i });
         s1.push(MpiOp::Recv { src: 0, tag: i });
-        s1.push(MpiOp::Send { dst: 0, bytes, tag: i });
+        s1.push(MpiOp::Send {
+            dst: 0,
+            bytes,
+            tag: i,
+        });
     }
     s0.push(MpiOp::Mark(iters));
     let job = eng.add_job(Job::new(vec![a, b]), vec![s0, s1], 0, SimTime::ZERO);
     eng.run_to_completion(2_000_000_000);
     let rtts = eng.iteration_durations(job);
-    let mut half_us = Sample::from_values(
-        rtts.iter().map(|d| d.as_us_f64() / 2.0).collect(),
-    );
+    let mut half_us = Sample::from_values(rtts.iter().map(|d| d.as_us_f64() / 2.0).collect());
     let latency_us = half_us.box_summary();
     let bandwidth_gbps = (bytes * 8) as f64 / (latency_us.median * 1_000.0);
     Fig4Row {

@@ -5,6 +5,7 @@
 //! ~3.3 µs TCP at 8 B); large messages converge toward wire bandwidth,
 //! with the kernel stacks penalized by their memory copies.
 
+use crate::runner;
 use crate::scale::Scale;
 use serde::Serialize;
 use slingshot::{Profile, System, SystemBuilder};
@@ -50,17 +51,15 @@ pub fn run(scale: Scale) -> Vec<Fig5Row> {
         Scale::Quick => 20,
         Scale::Paper => 200,
     };
-    let mut rows = Vec::new();
-    for stack in ProtocolStack::ALL {
-        for &bytes in &sizes(scale) {
-            rows.push(Fig5Row {
-                stack: stack.name,
-                bytes,
-                half_rtt_us: median_half_rtt(stack, bytes, iters),
-            });
-        }
-    }
-    rows
+    let points: Vec<(ProtocolStack, u64)> = ProtocolStack::ALL
+        .into_iter()
+        .flat_map(|stack| sizes(scale).into_iter().map(move |bytes| (stack, bytes)))
+        .collect();
+    runner::par_map(&points, |&(stack, bytes)| Fig5Row {
+        stack: stack.name,
+        bytes,
+        half_rtt_us: median_half_rtt(stack, bytes, iters),
+    })
 }
 
 fn median_half_rtt(stack: ProtocolStack, bytes: u64, iters: u32) -> f64 {
@@ -77,10 +76,18 @@ fn median_half_rtt(stack: ProtocolStack, bytes: u64, iters: u32) -> f64 {
     let mut s1 = Script::new();
     for i in 0..iters {
         s0.push(MpiOp::Mark(i));
-        s0.push(MpiOp::Send { dst: 1, bytes, tag: i });
+        s0.push(MpiOp::Send {
+            dst: 1,
+            bytes,
+            tag: i,
+        });
         s0.push(MpiOp::Recv { src: 1, tag: i });
         s1.push(MpiOp::Recv { src: 0, tag: i });
-        s1.push(MpiOp::Send { dst: 0, bytes, tag: i });
+        s1.push(MpiOp::Send {
+            dst: 0,
+            bytes,
+            tag: i,
+        });
     }
     s0.push(MpiOp::Mark(iters));
     let job = eng.add_job(
@@ -139,7 +146,10 @@ mod tests {
         let tcp = at("TCP", 1 << 20);
         // TCP stays measurably slower at 1 MiB (kernel copies), but the
         // gap narrows relative to the ~2.5x seen at 8 B.
-        assert!((1.2..=3.0).contains(&(tcp / verbs)), "tcp {tcp} verbs {verbs}");
+        assert!(
+            (1.2..=3.0).contains(&(tcp / verbs)),
+            "tcp {tcp} verbs {verbs}"
+        );
         // Latency grows with size for every stack.
         for stack in ProtocolStack::ALL {
             assert!(at(stack.name, 1 << 20) > at(stack.name, 8));

@@ -7,6 +7,7 @@
 //! for large messages and a throughput dip at 256 B where the MPI
 //! algorithm switches from Bruck to pairwise.
 
+use crate::runner;
 use crate::scale::Scale;
 use serde::Serialize;
 use slingshot::{Profile, System, SystemBuilder};
@@ -41,15 +42,18 @@ pub struct Fig6Result {
 }
 
 /// Theoretical peaks from the topology (the paper's arithmetic).
+///
+/// Shandy (8 groups, 224 global cables = 448 directed links at 200 Gb/s):
+/// bisection 6.4 TB/s = 51.2 Tb/s, all-to-all 12.8 TB/s = 102.4 Tb/s.
 pub fn theoretical_gbps(params: &DragonflyParams, link_gbps: f64) -> (f64, f64) {
     // Bisection: crossing cables × rate × 2 directions.
     let bisection = params.bisection_global_cables() as f64 * link_gbps * 2.0;
-    // All-to-all: g/(g−1) × directed global channels × rate / 2
-    // (each directed channel counted once; the g/(g−1) factor accounts
-    // for the in-group fraction of traffic not using global links).
+    // All-to-all: every directed global channel (2 per cable) carries
+    // `link_gbps`; the g/(g−1) factor credits the in-group fraction of
+    // traffic that never touches a global link.
     let g = params.groups as f64;
     let directed_globals = (params.total_global_cables() * 2) as f64;
-    let alltoall = g / (g - 1.0) * directed_globals * link_gbps / 2.0 * 2.0;
+    let alltoall = g / (g - 1.0) * directed_globals * link_gbps;
     (bisection, alltoall)
 }
 
@@ -58,17 +62,7 @@ pub fn sizes(scale: Scale) -> Vec<u64> {
     match scale {
         Scale::Tiny => vec![128, 256, 512, 8 << 10],
         Scale::Quick => vec![8, 128, 256, 512, 2 << 10, 8 << 10, 32 << 10],
-        Scale::Paper => vec![
-            8,
-            32,
-            128,
-            256,
-            512,
-            2 << 10,
-            8 << 10,
-            32 << 10,
-            128 << 10,
-        ],
+        Scale::Paper => vec![8, 32, 128, 256, 512, 2 << 10, 8 << 10, 32 << 10, 128 << 10],
     }
 }
 
@@ -82,23 +76,25 @@ pub fn run(scale: Scale) -> Fig6Result {
         Scale::Quick => 2,
         Scale::Paper => 16,
     };
-    let mut rows = Vec::new();
-    for &bytes in &sizes(scale) {
-        rows.push(Fig6Row {
-            series: format!("alltoall ppn={ppn}"),
-            bytes,
-            gbps: alltoall_gbps(params, bytes, ppn, scale),
-        });
-    }
-    for &bytes in &sizes(scale) {
-        if bytes >= 256 {
-            rows.push(Fig6Row {
+    let a2a_sizes = sizes(scale);
+    let bis_sizes: Vec<u64> = a2a_sizes.iter().copied().filter(|&b| b >= 256).collect();
+    let (mut rows, bis_rows) = runner::join(
+        || {
+            runner::par_map(&a2a_sizes, |&bytes| Fig6Row {
+                series: format!("alltoall ppn={ppn}"),
+                bytes,
+                gbps: alltoall_gbps(params, bytes, ppn, scale),
+            })
+        },
+        || {
+            runner::par_map(&bis_sizes, |&bytes| Fig6Row {
                 series: "bisection".to_string(),
                 bytes,
                 gbps: bisection_gbps(params, bytes, scale),
-            });
-        }
-    }
+            })
+        },
+    );
+    rows.extend(bis_rows);
     Fig6Result {
         groups: params.groups,
         nodes,
@@ -172,11 +168,31 @@ mod tests {
 
     #[test]
     fn shandy_theoretical_peaks_match_paper() {
-        // 6.4 Tb/s bisection and 12.8 TB/s (= 102.4 Tb/s) all-to-all.
+        // Fig. 6 of the paper: 6.4 TB/s bisection and 12.8 TB/s all-to-all.
         let (bis, a2a) = theoretical_gbps(&shandy(), 200.0);
-        assert_eq!(bis, 128.0 * 200.0 * 2.0); // 51.2 Tb/s both directions = 6.4 TB/s
+        // 128 crossing cables × 200 Gb/s × 2 directions = 51.2 Tb/s.
+        assert_eq!(bis, 128.0 * 200.0 * 2.0);
+        assert!(
+            (bis / 8e3 - 6.4).abs() < 1e-9,
+            "bisection {bis} Gb/s != 6.4 TB/s"
+        );
+        // 448 directed global links × 200 Gb/s × 8/7 = 102.4 Tb/s.
         let expected_a2a = 8.0 / 7.0 * 448.0 * 200.0;
         assert!((a2a - expected_a2a).abs() < 1.0, "a2a {a2a}");
+        assert!(
+            (a2a / 8e3 - 12.8).abs() < 1e-9,
+            "alltoall {a2a} Gb/s != 12.8 TB/s"
+        );
+    }
+
+    #[test]
+    fn scaled_two_group_peaks() {
+        // 2 groups, 8 cables between them: bisection crosses all 8
+        // ((g/2)²·m = 1·1·8) → 3.2 Tb/s; all-to-all = 2/1 × 16 directed
+        // links × 200 Gb/s.
+        let (bis, a2a) = theoretical_gbps(&shandy_scaled(2), 200.0);
+        assert_eq!(bis, 8.0 * 200.0 * 2.0);
+        assert_eq!(a2a, 2.0 * 16.0 * 200.0);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! computation ratio is tiny; tails (95p/99p) stretch most on Aries.
 
 use crate::congestion::{machine_for, WARMUP};
+use crate::runner;
 use crate::scale::Scale;
 use serde::Serialize;
 use slingshot::{Profile, System, SystemBuilder};
@@ -60,19 +61,21 @@ pub fn sphinx_service_scale(scale: Scale) -> f64 {
 
 /// Run the figure.
 pub fn run(scale: Scale) -> Vec<Fig8Row> {
-    let mut rows = Vec::new();
     let apps: &[TailApp] = match scale {
         Scale::Tiny => &[TailApp::Silo, TailApp::ImgDnn],
         _ => &TailApp::ALL,
     };
+    let mut points = Vec::new();
     for &app in apps {
         for profile in [Profile::Aries, Profile::Slingshot] {
             for congested in [false, true] {
-                rows.push(measure(app, profile, congested, scale));
+                points.push((app, profile, congested));
             }
         }
     }
-    rows
+    runner::par_map(&points, |&(app, profile, congested)| {
+        measure(app, profile, congested, scale)
+    })
 }
 
 fn measure(app: TailApp, profile: Profile, congested: bool, scale: Scale) -> Fig8Row {
@@ -156,7 +159,10 @@ mod tests {
         let img_aries = impact("img-dnn", "Aries");
         let img_ss = impact("img-dnn", "Slingshot");
         assert!(img_aries > 1.02, "img-dnn: aries impact {img_aries:.2}");
-        assert!(img_aries > img_ss, "img-dnn ordering: {img_aries:.2} vs {img_ss:.2}");
+        assert!(
+            img_aries > img_ss,
+            "img-dnn ordering: {img_aries:.2} vs {img_ss:.2}"
+        );
         assert!(img_ss < 1.2, "img-dnn: slingshot impact {img_ss:.2}");
     }
 

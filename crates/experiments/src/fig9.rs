@@ -8,6 +8,7 @@
 //! aggressor share and hits small messages hardest.
 
 use crate::congestion::{default_victims, run_cell, Cell, Victim};
+use crate::runner;
 use crate::scale::Scale;
 use serde::Serialize;
 use slingshot::Profile;
@@ -82,61 +83,88 @@ impl HeatmapOpts {
     }
 }
 
-/// Run the heatmap sweep.
+fn profile_name(profile: Profile) -> &'static str {
+    match profile {
+        Profile::Aries => "Aries",
+        Profile::Slingshot => "Slingshot",
+        Profile::SlingshotEcn => "Slingshot+ECN",
+    }
+}
+
+/// Run the heatmap sweep: every isolated baseline first (they are shared
+/// across aggressor patterns), then every loaded cell, each phase fanned
+/// across the installed worker threads. Cell order matches the serial
+/// sweep exactly.
 pub fn run(opts: &HeatmapOpts) -> Vec<HeatmapCell> {
-    let mut cells = Vec::new();
+    // The victim must span at least two switches (at paper scale a 10 %
+    // victim covers ~4 switches; keep that property when the machine is
+    // scaled down).
+    let eps = crate::congestion::machine_for(opts.nodes).endpoints_per_switch;
+    let victim_nodes = |share: u32| (opts.nodes - opts.nodes * share / 100).max(eps + 2);
+    let cell = |profile, share, aggressor| Cell {
+        profile,
+        nodes: opts.nodes,
+        victim_nodes: victim_nodes(share),
+        policy: opts.policy,
+        aggressor,
+        aggressor_ppn: opts.aggressor_ppn,
+        seed: opts.seed,
+    };
+
+    // Isolated baselines, shared across aggressor patterns.
+    let mut iso_points = Vec::new();
     for &profile in &opts.profiles {
-        let profile_name = match profile {
-            Profile::Aries => "Aries",
-            Profile::Slingshot => "Slingshot",
-            Profile::SlingshotEcn => "Slingshot+ECN",
-        };
         for &share in &opts.shares {
-            // The victim must span at least two switches (at paper scale
-            // a 10 % victim covers ~4 switches; keep that property when
-            // the machine is scaled down).
-            let eps = crate::congestion::machine_for(opts.nodes).endpoints_per_switch;
-            let victim_nodes = (opts.nodes - opts.nodes * share / 100).max(eps + 2);
-            // Isolated baselines are shared across aggressor patterns.
-            let mut isolated: HashMap<String, f64> = HashMap::new();
             for &victim in &opts.victims {
-                let cell = Cell {
-                    profile,
-                    nodes: opts.nodes,
-                    victim_nodes,
-                    policy: opts.policy,
-                    aggressor: None,
-                    aggressor_ppn: opts.aggressor_ppn,
-                    seed: opts.seed,
-                };
-                let r = run_cell(&cell, victim, opts.iters, opts.budget);
-                isolated.insert(victim.label(), r.mean_secs);
+                iso_points.push((profile, share, victim));
             }
+        }
+    }
+    let iso_means = runner::par_map(&iso_points, |&(profile, share, victim)| {
+        run_cell(&cell(profile, share, None), victim, opts.iters, opts.budget).mean_secs
+    });
+    let isolated: HashMap<(&'static str, u32, String), f64> = iso_points
+        .iter()
+        .zip(&iso_means)
+        .map(|(&(profile, share, victim), &mean)| {
+            ((profile_name(profile), share, victim.label()), mean)
+        })
+        .collect();
+
+    // Loaded cells, in the figure's row order.
+    let mut loaded_points = Vec::new();
+    for &profile in &opts.profiles {
+        for &share in &opts.shares {
             for aggressor in [Congestor::AllToAll, Congestor::Incast] {
                 for &victim in &opts.victims {
-                    let cell = Cell {
-                        profile,
-                        nodes: opts.nodes,
-                        victim_nodes,
-                        policy: opts.policy,
-                        aggressor: Some(aggressor),
-                        aggressor_ppn: opts.aggressor_ppn,
-                        seed: opts.seed,
-                    };
-                    let r = run_cell(&cell, victim, opts.iters, opts.budget);
-                    let base = isolated[&victim.label()];
-                    cells.push(HeatmapCell {
-                        profile: profile_name,
-                        aggressor: aggressor.label(),
-                        aggressor_share: share,
-                        victim: victim.label(),
-                        impact: r.mean_secs / base,
-                    });
+                    loaded_points.push((profile, share, aggressor, victim));
                 }
             }
         }
     }
-    cells
+    let loaded_means = runner::par_map(&loaded_points, |&(profile, share, aggressor, victim)| {
+        run_cell(
+            &cell(profile, share, Some(aggressor)),
+            victim,
+            opts.iters,
+            opts.budget,
+        )
+        .mean_secs
+    });
+    loaded_points
+        .iter()
+        .zip(&loaded_means)
+        .map(|(&(profile, share, aggressor, victim), &mean)| {
+            let base = isolated[&(profile_name(profile), share, victim.label())];
+            HeatmapCell {
+                profile: profile_name(profile),
+                aggressor: aggressor.label(),
+                aggressor_share: share,
+                victim: victim.label(),
+                impact: mean / base,
+            }
+        })
+        .collect()
 }
 
 /// Summary statistics over a set of heatmap cells (used by Fig. 10's

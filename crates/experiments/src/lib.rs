@@ -4,27 +4,33 @@
 //! evaluation. Each `figN` module exposes a `run(scale) -> rows` function;
 //! the `src/bin/figN_*.rs` binaries print the same rows/series the paper
 //! reports and drop JSON under `results/`.
+//!
+//! Sweeps fan their independent simulation points across worker threads
+//! (see [`runner`]); pass `--jobs N` to any binary. Output is
+//! bit-identical at every thread count because each point seeds its own
+//! engine and aggregation order is fixed.
 
 #![warn(missing_docs)]
 
 pub mod ablation;
 pub mod congestion;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
 pub mod fig2;
 pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod fig8;
 pub mod fig9;
-pub mod fig10;
-pub mod fig11;
-pub mod fig12;
-pub mod fig13;
-pub mod fig14;
 pub mod report;
+pub mod runner;
 pub mod scale;
 
 pub use congestion::{
-    congestion_impact, default_victims, machine_for, paper_victim_splits, run_cell, run_pair,
-    Cell, CellResult, Victim,
+    congestion_impact, default_victims, machine_for, paper_victim_splits, run_cell, run_pair, Cell,
+    CellResult, Victim,
 };
-pub use scale::Scale;
+pub use scale::{RunConfig, Scale};

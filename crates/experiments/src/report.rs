@@ -113,9 +113,9 @@ pub fn fmt_impact(x: f64) -> String {
 
 /// Format bytes with binary units (8B, 128KiB, 4MiB).
 pub fn fmt_bytes(b: u64) -> String {
-    if b >= 1 << 20 && b % (1 << 20) == 0 {
+    if b >= 1 << 20 && b.is_multiple_of(1 << 20) {
         format!("{}MiB", b >> 20)
-    } else if b >= 1 << 10 && b % (1 << 10) == 0 {
+    } else if b >= 1 << 10 && b.is_multiple_of(1 << 10) {
         format!("{}KiB", b >> 10)
     } else {
         format!("{b}B")
@@ -124,7 +124,9 @@ pub fn fmt_bytes(b: u64) -> String {
 
 /// Check whether `path` exists under the results dir (test helper).
 pub fn result_exists(name: &str) -> bool {
-    Path::new(&results_dir()).join(format!("{name}.json")).exists()
+    Path::new(&results_dir())
+        .join(format!("{name}.json"))
+        .exists()
 }
 
 #[cfg(test)]

@@ -1,0 +1,108 @@
+//! Deterministic parallel fan-out for independent simulation points.
+//!
+//! Every figure in this crate is a sweep: a list of independent cells
+//! (message sizes, victim/aggressor pairs, placement policies, …), each
+//! simulated by its own [`slingshot_mpi::Engine`] with a seed derived
+//! only from the cell's identity. That makes the sweep embarrassingly
+//! parallel — and, because no state is shared between cells, results are
+//! *bit-identical* at any thread count as long as aggregation order is
+//! fixed.
+//!
+//! [`par_map`] provides exactly that contract: it fans `f` over the items
+//! on the currently installed thread pool and returns the outputs in
+//! input order, regardless of which thread finished first. [`with_jobs`]
+//! installs the pool; figure binaries call it once from `main` with the
+//! `--jobs` value so every `par_map`/[`join`] underneath inherits the
+//! width.
+//!
+//! ```
+//! use slingshot_experiments::runner;
+//! let xs = [1u64, 2, 3, 4];
+//! let squares = runner::with_jobs(2, || runner::par_map(&xs, |&x| x * x));
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+use rayon::prelude::*;
+use rayon::ThreadPoolBuilder;
+
+/// Run `f` with the parallelism width pinned to `jobs` threads
+/// (0 = one per hardware thread). All [`par_map`] and [`join`] calls
+/// inside `f` use this width; `--jobs 1` reproduces the serial harness
+/// exactly.
+pub fn with_jobs<R>(jobs: usize, f: impl FnOnce() -> R) -> R {
+    let pool = ThreadPoolBuilder::new()
+        .num_threads(jobs)
+        .build()
+        .expect("build worker thread pool");
+    pool.install(f)
+}
+
+/// Map `f` over `items` in parallel, preserving input order in the
+/// output. With deterministic `f` (everything in this crate: per-cell
+/// seeds, no shared state) the result is bit-identical at any thread
+/// count.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    items.par_iter().map(f).collect()
+}
+
+/// Run two independent closures, potentially in parallel, and return
+/// `(a(), b())`. Order of the returned tuple is fixed, so combining the
+/// results stays deterministic.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    rayon::join(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let expected: Vec<u64> = items.iter().map(|&x| x.wrapping_mul(2654435761)).collect();
+        for jobs in [1, 2, 7] {
+            let got = with_jobs(jobs, || par_map(&items, |&x| x.wrapping_mul(2654435761)));
+            assert_eq!(got, expected, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn with_jobs_scopes_the_width() {
+        with_jobs(3, || assert_eq!(rayon::current_num_threads(), 3));
+        with_jobs(1, || assert_eq!(rayon::current_num_threads(), 1));
+    }
+
+    #[test]
+    fn join_returns_both_sides_in_order() {
+        for jobs in [1, 4] {
+            let (a, b) = with_jobs(jobs, || join(|| "left", || 42));
+            assert_eq!((a, b), ("left", 42));
+        }
+    }
+
+    #[test]
+    fn nested_par_map_still_ordered() {
+        let outer: Vec<u32> = (0..5).collect();
+        let got = with_jobs(4, || {
+            par_map(&outer, |&i| {
+                let inner: Vec<u32> = (0..8).collect();
+                par_map(&inner, |&j| i * 100 + j)
+            })
+        });
+        for (i, row) in got.iter().enumerate() {
+            let want: Vec<u32> = (0..8).map(|j| i as u32 * 100 + j).collect();
+            assert_eq!(row, &want);
+        }
+    }
+}

@@ -1,9 +1,13 @@
-//! Experiment scale selection: quick (default) vs paper-scale runs.
+//! Experiment scale selection and harness options.
 //!
 //! Every figure binary accepts `--paper` for the full node counts and
 //! iteration budgets of the paper (hours of single-core simulation) and
 //! `--tiny` for smoke tests; the default is a faithful-but-scaled run that
-//! completes in roughly a minute per figure.
+//! completes in roughly a minute per figure. `--jobs N` sets how many
+//! worker threads the harness fans independent simulations across
+//! (0 = one per hardware thread); results are identical at any value.
+//! Unrecognized options are an error: the process prints usage and exits
+//! with a non-zero status rather than silently running the wrong sweep.
 
 /// How big to run an experiment.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -18,21 +22,12 @@ pub enum Scale {
 
 impl Scale {
     /// Parse from process args (`--tiny` / `--paper`, default quick).
+    ///
+    /// Unknown options abort the process with a non-zero exit; `--jobs`
+    /// is accepted and discarded (use [`RunConfig::from_args`] to keep
+    /// it).
     pub fn from_args() -> Scale {
-        let mut scale = Scale::Quick;
-        for a in std::env::args().skip(1) {
-            match a.as_str() {
-                "--tiny" => scale = Scale::Tiny,
-                "--paper" => scale = Scale::Paper,
-                "--quick" => scale = Scale::Quick,
-                "--help" | "-h" => {
-                    eprintln!("options: --tiny | --quick (default) | --paper");
-                    std::process::exit(0);
-                }
-                other => eprintln!("ignoring unknown option {other}"),
-            }
-        }
-        scale
+        RunConfig::from_args().scale
     }
 
     /// Number of nodes for the congestion experiments (paper: 512).
@@ -90,9 +85,116 @@ impl Scale {
     }
 }
 
+/// Full harness configuration parsed from a figure binary's arguments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunConfig {
+    /// Sweep size.
+    pub scale: Scale,
+    /// Worker threads for the parallel runner (0 = hardware count).
+    pub jobs: usize,
+}
+
+const USAGE: &str = "options: --tiny | --quick (default) | --paper | --jobs N (0 = all cores)";
+
+impl RunConfig {
+    /// Parse from process args; prints usage and exits non-zero on any
+    /// unrecognized option or malformed `--jobs` value.
+    pub fn from_args() -> RunConfig {
+        match Self::parse(std::env::args().skip(1)) {
+            Err(HelpRequested) => {
+                eprintln!("{USAGE}");
+                std::process::exit(0);
+            }
+            Ok(Ok(cfg)) => cfg,
+            Ok(Err(bad)) => {
+                eprintln!("error: {bad}");
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Argument grammar, separated from process exit for testability.
+    /// Outer `Err` = `--help`; inner `Err` = invalid arguments.
+    fn parse(
+        mut args: impl Iterator<Item = String>,
+    ) -> Result<Result<RunConfig, String>, HelpRequested> {
+        let mut cfg = RunConfig {
+            scale: Scale::Quick,
+            jobs: 0,
+        };
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--tiny" => cfg.scale = Scale::Tiny,
+                "--paper" => cfg.scale = Scale::Paper,
+                "--quick" => cfg.scale = Scale::Quick,
+                "--help" | "-h" => return Err(HelpRequested),
+                "--jobs" => match args.next().map(|v| v.parse::<usize>()) {
+                    Some(Ok(n)) => cfg.jobs = n,
+                    Some(Err(_)) | None => {
+                        return Ok(Err("--jobs expects a thread count".into()));
+                    }
+                },
+                other => match other.strip_prefix("--jobs=") {
+                    Some(v) => match v.parse::<usize>() {
+                        Ok(n) => cfg.jobs = n,
+                        Err(_) => return Ok(Err(format!("invalid --jobs value {v:?}"))),
+                    },
+                    None => return Ok(Err(format!("unrecognized option {other:?}"))),
+                },
+            }
+        }
+        Ok(Ok(cfg))
+    }
+}
+
+/// Marker for `--help`/`-h` (exit 0, not an error).
+struct HelpRequested;
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn parse(args: &[&str]) -> Result<RunConfig, String> {
+        RunConfig::parse(args.iter().map(|s| s.to_string()))
+            .unwrap_or_else(|_| panic!("help requested"))
+    }
+
+    #[test]
+    fn defaults_to_quick_serial_pool() {
+        assert_eq!(
+            parse(&[]).unwrap(),
+            RunConfig {
+                scale: Scale::Quick,
+                jobs: 0
+            }
+        );
+    }
+
+    #[test]
+    fn parses_scales_and_jobs() {
+        assert_eq!(parse(&["--tiny"]).unwrap().scale, Scale::Tiny);
+        assert_eq!(parse(&["--paper"]).unwrap().scale, Scale::Paper);
+        assert_eq!(parse(&["--jobs", "4"]).unwrap().jobs, 4);
+        assert_eq!(parse(&["--jobs=8"]).unwrap().jobs, 8);
+        let cfg = parse(&["--paper", "--jobs", "2"]).unwrap();
+        assert_eq!(
+            cfg,
+            RunConfig {
+                scale: Scale::Paper,
+                jobs: 2
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_and_malformed_options() {
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--jobs"]).is_err());
+        assert!(parse(&["--jobs", "many"]).is_err());
+        assert!(parse(&["--jobs=-1"]).is_err());
+        assert!(parse(&["--tiny", "extra"]).is_err());
+    }
 
     #[test]
     fn scales_are_ordered() {

@@ -1,0 +1,36 @@
+//! Figure binaries must fail loudly on arguments they do not understand:
+//! a typoed flag silently ignored means hours of simulation at the wrong
+//! configuration.
+
+use std::process::Command;
+
+fn fig2(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_fig2_switch_latency"))
+        .args(args)
+        .output()
+        .expect("run figure binary")
+}
+
+#[test]
+fn unknown_flag_exits_nonzero() {
+    let out = fig2(&["--bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unrecognized option"), "stderr: {err}");
+}
+
+#[test]
+fn malformed_jobs_value_exits_nonzero() {
+    let out = fig2(&["--jobs", "many"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = fig2(&["--jobs"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn help_exits_zero_without_running() {
+    let out = fig2(&["--help"]);
+    assert_eq!(out.status.code(), Some(0));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--jobs"), "usage must mention --jobs: {err}");
+}

@@ -1,0 +1,26 @@
+//! The harness's determinism guarantee: a figure sweep produces
+//! bit-identical rows at any `--jobs` thread count, and repeated runs at
+//! the same seed are bit-identical too. Serialized JSON is the equality
+//! witness — it is exactly what the binaries write under `results/`.
+
+use slingshot_experiments::{fig5, runner, Scale};
+
+fn fig5_json(jobs: usize) -> String {
+    let rows = runner::with_jobs(jobs, || fig5::run(Scale::Tiny));
+    serde_json::to_string(&rows).expect("serialize rows")
+}
+
+#[test]
+fn figure_rows_identical_at_any_thread_count() {
+    let serial = fig5_json(1);
+    let parallel = fig5_json(4);
+    assert_eq!(
+        serial, parallel,
+        "rows differ between --jobs 1 and --jobs 4"
+    );
+}
+
+#[test]
+fn same_seed_repeats_are_bit_identical() {
+    assert_eq!(fig5_json(4), fig5_json(4));
+}

@@ -80,11 +80,7 @@ pub fn allreduce_recursive_doubling(n: u32, bytes: u64, tag: u32) -> Fragments {
     // Fold: extras hand their contribution to their partner.
     for r in 0..rem {
         let extra = p2 + r;
-        frags[extra as usize].push(MpiOp::Send {
-            dst: r,
-            bytes,
-            tag,
-        });
+        frags[extra as usize].push(MpiOp::Send { dst: r, bytes, tag });
         frags[r as usize].push(MpiOp::Recv { src: extra, tag });
         frags[r as usize].push(reduce_compute(bytes));
     }
@@ -394,9 +390,7 @@ pub fn validate_matching(frags: &Fragments) -> Result<(), String> {
                         *mailbox.entry((r as Rank, dst, tag)).or_insert(0) += 1;
                         true
                     }
-                    MpiOp::Put { .. } | MpiOp::Compute(_) | MpiOp::Fence | MpiOp::Mark(_) => {
-                        true
-                    }
+                    MpiOp::Put { .. } | MpiOp::Compute(_) | MpiOp::Fence | MpiOp::Mark(_) => true,
                     MpiOp::Recv { src, tag } => {
                         let e = mailbox.entry((src, r as Rank, tag)).or_insert(0);
                         if *e > 0 {
@@ -611,8 +605,22 @@ mod tests {
     fn validate_matching_detects_deadlock() {
         // Two ranks both receive first: classic deadlock.
         let frags = vec![
-            vec![MpiOp::Recv { src: 1, tag: 0 }, MpiOp::Send { dst: 1, bytes: 1, tag: 0 }],
-            vec![MpiOp::Recv { src: 0, tag: 0 }, MpiOp::Send { dst: 0, bytes: 1, tag: 0 }],
+            vec![
+                MpiOp::Recv { src: 1, tag: 0 },
+                MpiOp::Send {
+                    dst: 1,
+                    bytes: 1,
+                    tag: 0,
+                },
+            ],
+            vec![
+                MpiOp::Recv { src: 0, tag: 0 },
+                MpiOp::Send {
+                    dst: 0,
+                    bytes: 1,
+                    tag: 0,
+                },
+            ],
         ];
         assert!(validate_matching(&frags).is_err());
     }

@@ -22,11 +22,7 @@ enum Blocked {
     /// Waiting for a matching message.
     Recv { src: Rank, tag: u32 },
     /// Waiting for a message to be matched *and then* a rendezvous ack.
-    RecvThenAck {
-        src: Rank,
-        tag: u32,
-        msg: MessageId,
-    },
+    RecvThenAck { src: Rank, tag: u32, msg: MessageId },
     /// Waiting for a specific rendezvous send to be acknowledged.
     SendAck { msg: MessageId },
     /// Waiting for all outstanding sends/puts to be acknowledged.
@@ -172,8 +168,7 @@ impl Engine {
             })
             .collect();
         for r in 0..job.ranks() {
-            self.net
-                .schedule_wakeup(start_at, pack_token(id.0, r));
+            self.net.schedule_wakeup(start_at, pack_token(id.0, r));
         }
         self.jobs.push(JobRt {
             job,
@@ -308,20 +303,21 @@ impl Engine {
                 if meta.kind != MsgKind::P2p {
                     return;
                 }
-                let blocked =
-                    self.jobs[meta.job as usize].ranks[meta.dst_rank as usize].blocked;
+                let blocked = self.jobs[meta.job as usize].ranks[meta.dst_rank as usize].blocked;
                 match blocked {
                     Blocked::Recv { src, tag } if src == meta.src_rank && tag == meta.tag => {
                         self.finish_recv(meta.job, meta.dst_rank);
                     }
-                    Blocked::RecvThenAck { src, tag, msg: pending }
-                        if src == meta.src_rank && tag == meta.tag =>
-                    {
+                    Blocked::RecvThenAck {
+                        src,
+                        tag,
+                        msg: pending,
+                    } if src == meta.src_rank && tag == meta.tag => {
                         if self.msg_meta[pending.0 as usize].acked {
                             self.finish_recv(meta.job, meta.dst_rank);
                         } else {
-                            self.jobs[meta.job as usize].ranks[meta.dst_rank as usize]
-                                .blocked = Blocked::SendAck { msg: pending };
+                            self.jobs[meta.job as usize].ranks[meta.dst_rank as usize].blocked =
+                                Blocked::SendAck { msg: pending };
                         }
                     }
                     _ => {
@@ -379,7 +375,11 @@ impl Engine {
             (jr.job.node_of(src_rank), jr.job.node_of(dst_rank), jr.tc)
         };
         let msg = self.net.send(src, dst, bytes.max(1), tc, 0);
-        debug_assert_eq!(msg.0 as usize, self.msg_meta.len(), "engine must be the sole sender");
+        debug_assert_eq!(
+            msg.0 as usize,
+            self.msg_meta.len(),
+            "engine must be the sole sender"
+        );
         self.msg_meta.push(MsgMeta {
             job,
             src_rank,

@@ -88,10 +88,18 @@ fn pingpong_latency_reasonable() {
     let mut s1 = Script::new();
     s0.push(MpiOp::Mark(0));
     for i in 0..iters {
-        s0.push(MpiOp::Send { dst: 1, bytes: 8, tag: i });
+        s0.push(MpiOp::Send {
+            dst: 1,
+            bytes: 8,
+            tag: i,
+        });
         s0.push(MpiOp::Recv { src: 1, tag: i });
         s1.push(MpiOp::Recv { src: 0, tag: i });
-        s1.push(MpiOp::Send { dst: 0, bytes: 8, tag: i });
+        s1.push(MpiOp::Send {
+            dst: 0,
+            bytes: 8,
+            tag: i,
+        });
     }
     s0.push(MpiOp::Mark(1));
     let id = eng.add_job(job, vec![s0, s1], 0, SimTime::ZERO);
@@ -113,7 +121,11 @@ fn rendezvous_send_blocks_until_acked() {
     // 1 MiB is above the 16 KiB rendezvous threshold.
     let s0 = Script::from_ops(vec![
         MpiOp::Mark(0),
-        MpiOp::Send { dst: 1, bytes: 1 << 20, tag: 0 },
+        MpiOp::Send {
+            dst: 1,
+            bytes: 1 << 20,
+            tag: 0,
+        },
         MpiOp::Mark(1),
     ]);
     let s1 = Script::from_ops(vec![MpiOp::Recv { src: 0, tag: 0 }]);
@@ -123,7 +135,10 @@ fn rendezvous_send_blocks_until_acked() {
     let send_time = marks[1].at.since(marks[0].at);
     // 1 MiB at 100 Gb/s ≈ 84 µs minimum; a non-blocking (eager) return
     // would be sub-µs.
-    assert!(send_time > SimDuration::from_us(50), "send returned early: {send_time}");
+    assert!(
+        send_time > SimDuration::from_us(50),
+        "send returned early: {send_time}"
+    );
 }
 
 #[test]
@@ -131,8 +146,14 @@ fn put_and_fence() {
     let mut eng = engine(System::Tiny);
     let job = Job::new(vec![NodeId(0), NodeId(15)]);
     let s0 = Script::from_ops(vec![
-        MpiOp::Put { dst: 1, bytes: 128 << 10 },
-        MpiOp::Put { dst: 1, bytes: 128 << 10 },
+        MpiOp::Put {
+            dst: 1,
+            bytes: 128 << 10,
+        },
+        MpiOp::Put {
+            dst: 1,
+            bytes: 128 << 10,
+        },
         MpiOp::Fence,
         MpiOp::Mark(0),
     ]);
@@ -152,10 +173,7 @@ fn compute_phases_advance_time_without_traffic() {
     let s = Script::from_ops(vec![MpiOp::Compute(SimDuration::from_ms(2))]);
     let id = eng.add_job(job, vec![s], 0, SimTime::ZERO);
     eng.run_to_completion(1_000);
-    assert_eq!(
-        eng.job_duration(id).unwrap(),
-        SimDuration::from_ms(2)
-    );
+    assert_eq!(eng.job_duration(id).unwrap(), SimDuration::from_ms(2));
     assert_eq!(eng.network().stats().messages_delivered, 0);
 }
 
@@ -164,7 +182,10 @@ fn background_job_loops_while_foreground_completes() {
     let mut eng = engine(System::Tiny);
     // Background: node 2 puts to node 3 forever.
     let bg = Script::from_ops(vec![
-        MpiOp::Put { dst: 1, bytes: 64 << 10 },
+        MpiOp::Put {
+            dst: 1,
+            bytes: 64 << 10,
+        },
         MpiOp::Fence,
     ])
     .repeat_forever();
@@ -231,13 +252,17 @@ fn staggered_start_times() {
     let mut eng = engine(System::Tiny);
     let early = eng.add_job(
         Job::new(vec![NodeId(0)]),
-        vec![Script::from_ops(vec![MpiOp::Compute(SimDuration::from_us(1))])],
+        vec![Script::from_ops(vec![MpiOp::Compute(
+            SimDuration::from_us(1),
+        )])],
         0,
         SimTime::ZERO,
     );
     let late = eng.add_job(
         Job::new(vec![NodeId(1)]),
-        vec![Script::from_ops(vec![MpiOp::Compute(SimDuration::from_us(1))])],
+        vec![Script::from_ops(vec![MpiOp::Compute(
+            SimDuration::from_us(1),
+        )])],
         0,
         SimTime::from_ms(1),
     );

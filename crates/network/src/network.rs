@@ -395,7 +395,8 @@ impl Network {
             } => self.ack_arrive(src, dst, wire, msg, congested, depth, now),
             Event::Loopback { msg } => self.loopback(msg, now),
             Event::Wakeup { token } => {
-                self.notifications.push(Notification::Wakeup { token, at: now });
+                self.notifications
+                    .push(Notification::Wakeup { token, at: now });
             }
         }
     }
@@ -569,7 +570,8 @@ impl Network {
                 pkt.cur_source = InSource::Channel(ch);
                 pkt.route.hops += 1;
                 pkt.path_delay += prop;
-                self.queue.push(now + prop, Event::ArriveSwitch { sw: to, pkt });
+                self.queue
+                    .push(now + prop, Event::ArriveSwitch { sw: to, pkt });
             }
             PortKind::Eject(_) => {
                 pkt.path_delay += prop;
@@ -661,7 +663,8 @@ impl Network {
         debug_assert!(st.unacked_wire >= wire as u64);
         st.unacked_wire -= wire as u64;
         if st.unacked_wire == 0 && st.fully_injected {
-            self.notifications.push(Notification::SendAcked { msg, at: now });
+            self.notifications
+                .push(Notification::SendAcked { msg, at: now });
         }
         self.try_inject(src, now);
     }
@@ -682,7 +685,8 @@ impl Network {
             submitted_at: st.submitted_at,
             delivered_at: now,
         });
-        self.notifications.push(Notification::SendAcked { msg, at: now });
+        self.notifications
+            .push(Notification::SendAcked { msg, at: now });
     }
 
     /// Test/diagnostic helper: verify every buffer is empty and every

@@ -317,7 +317,7 @@ mod tests {
         old.born = SimTime::from_ns(10);
         let mut young = test_packet(100, 0, 0);
         young.born = SimTime::from_ns(20);
-        p.enqueue(old.clone());
+        p.enqueue(old);
         p.enqueue(young);
         // Exhaust vc2's reserve; the shared region is zero-sized here.
         p.outstanding[2] = VC_RESERVE;

@@ -59,14 +59,8 @@ fn quiet_latency_orders_by_distance() {
     // Each extra hop adds roughly one switch latency (~350 ns ± jitter).
     let hop2 = same_group.saturating_sub(same_switch);
     let hop3 = diff_group.saturating_sub(same_group);
-    assert!(
-        (200..=900).contains(&hop2.as_ns()),
-        "2nd hop delta {hop2}"
-    );
-    assert!(
-        (200..=1200).contains(&hop3.as_ns()),
-        "3rd hop delta {hop3}"
-    );
+    assert!((200..=900).contains(&hop2.as_ns()), "2nd hop delta {hop2}");
+    assert!((200..=1200).contains(&hop3.as_ns()), "3rd hop delta {hop3}");
 }
 
 #[test]
@@ -181,7 +175,10 @@ fn victim_rtt_under_incast(cfg: NetworkConfig, with_aggressors: bool) -> SimDura
         assert!(net.step(), "drained before victim pong");
         let mut done_at = None;
         for n in net.take_notifications() {
-            if let Notification::Delivered { msg, delivered_at, .. } = n {
+            if let Notification::Delivered {
+                msg, delivered_at, ..
+            } = n
+            {
                 if msg == ping {
                     // ... and pong back: group 1 → group 0 shares the
                     // congested direction with the aggressors.

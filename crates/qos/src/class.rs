@@ -196,11 +196,9 @@ mod tests {
 
     #[test]
     fn oversubscription_rejected() {
-        let err = TrafficClassSet::new(vec![
-            TrafficClass::bulk(1, 0.7),
-            TrafficClass::bulk(2, 0.5),
-        ])
-        .unwrap_err();
+        let err =
+            TrafficClassSet::new(vec![TrafficClass::bulk(1, 0.7), TrafficClass::bulk(2, 0.5)])
+                .unwrap_err();
         assert!(matches!(err, QosError::Oversubscribed { .. }));
     }
 

@@ -66,8 +66,7 @@ impl QosScheduler {
             if dt <= 0.0 {
                 continue;
             }
-            let min_rate =
-                self.classes.classes()[i].min_bandwidth * self.link_bytes_per_sec;
+            let min_rate = self.classes.classes()[i].min_bandwidth * self.link_bytes_per_sec;
             st.tokens = (st.tokens + min_rate * dt).min(BURST_BYTES);
             // Exponential decay of the rate estimate.
             let decay = (-dt / SHARE_TAU_S).exp();
@@ -99,8 +98,7 @@ impl QosScheduler {
                     let cb = &self.classes.classes()[b];
                     let ci = &self.classes.classes()[i];
                     if ci.priority < cb.priority
-                        || (ci.priority == cb.priority
-                            && st.tokens > self.state[b].tokens)
+                        || (ci.priority == cb.priority && st.tokens > self.state[b].tokens)
                     {
                         best = Some(i);
                     }
@@ -209,11 +207,9 @@ mod tests {
 
     #[test]
     fn equal_guarantees_share_equally() {
-        let set = TrafficClassSet::new(vec![
-            TrafficClass::bulk(1, 0.4),
-            TrafficClass::bulk(2, 0.4),
-        ])
-        .unwrap();
+        let set =
+            TrafficClassSet::new(vec![TrafficClass::bulk(1, 0.4), TrafficClass::bulk(2, 0.4)])
+                .unwrap();
         let mut s = QosScheduler::new(set, LINK);
         let served = run(&mut s, &[true, true], 20_000);
         let ratio = served[0] as f64 / served[1] as f64;

@@ -115,7 +115,10 @@ mod tests {
         req[5] = Some(3);
         let grants = arb.arbitrate(&req);
         assert_eq!(grants[3], Some(5));
-        assert!(grants.iter().enumerate().all(|(o, g)| o == 3 || g.is_none()));
+        assert!(grants
+            .iter()
+            .enumerate()
+            .all(|(o, g)| o == 3 || g.is_none()));
     }
 
     #[test]
@@ -135,12 +138,12 @@ mod tests {
     fn independent_outputs_grant_in_parallel() {
         let mut arb = Arbiter16x8::new();
         let mut req = [None; 16];
-        for i in 0..8 {
-            req[i] = Some(i as u8);
+        for (i, r) in req.iter_mut().enumerate().take(8) {
+            *r = Some(i as u8);
         }
         let grants = arb.arbitrate(&req);
-        for o in 0..8 {
-            assert_eq!(grants[o], Some(o as u8));
+        for (o, grant) in grants.iter().enumerate().take(8) {
+            assert_eq!(*grant, Some(o as u8));
         }
     }
 

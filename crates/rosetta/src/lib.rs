@@ -17,9 +17,9 @@ mod voq;
 
 pub use crossbar::{Arbiter16x8, CrossbarPlane};
 pub use latency::LatencyModel;
+pub use tiled_switch::{FlitDelivery, FlitTag, TiledSwitch};
 pub use tiles::{
     internal_hops, internal_route, InternalRoute, Tile, COLS, PORTS, PORTS_PER_TILE, ROWS, TILES,
     XBAR_INPUTS, XBAR_OUTPUTS,
 };
-pub use tiled_switch::{FlitDelivery, FlitTag, TiledSwitch};
 pub use voq::{Delivery, FifoSwitch, Tag, VoqSwitch};

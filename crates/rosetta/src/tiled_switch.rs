@@ -157,12 +157,10 @@ impl TiledSwitch {
                         continue;
                     }
                     // Input index within the row: 16 ports share the row.
-                    let row_input =
-                        (f.tag.in_port % (COLS * PORTS_PER_TILE)) % 16;
+                    let row_input = (f.tag.in_port % (COLS * PORTS_PER_TILE)) % 16;
                     // Output index within the column: 8 ports share it.
-                    let col_output = (route.out_tile.row * PORTS_PER_TILE
-                        + f.tag.out_port % PORTS_PER_TILE)
-                        % 8;
+                    let col_output =
+                        (route.out_tile.row * PORTS_PER_TILE + f.tag.out_port % PORTS_PER_TILE) % 8;
                     requests[row_input as usize] = Some(col_output);
                 }
             }
@@ -186,9 +184,8 @@ impl TiledSwitch {
                         continue;
                     }
                     let row_input = (f.tag.in_port % (COLS * PORTS_PER_TILE)) % 16;
-                    let col_output = (route.out_tile.row * PORTS_PER_TILE
-                        + f.tag.out_port % PORTS_PER_TILE)
-                        % 8;
+                    let col_output =
+                        (route.out_tile.row * PORTS_PER_TILE + f.tag.out_port % PORTS_PER_TILE) % 8;
                     if row_input == *input_idx && col_output == out_idx as u8 {
                         self.in_flight[port as usize] = Some(InFlight {
                             tag: f.tag,
@@ -276,7 +273,10 @@ mod tests {
         assert_eq!(d.len(), 9);
         let bystander = d.iter().find(|x| x.tag.id == 99).unwrap();
         let bystander_cycles = bystander.delivered_at - bystander.tag.injected_at;
-        assert!(bystander_cycles <= 3, "bystander delayed {bystander_cycles}");
+        assert!(
+            bystander_cycles <= 3,
+            "bystander delayed {bystander_cycles}"
+        );
         // Hot output drains one per cycle.
         let mut hot: Vec<u64> = d
             .iter()

@@ -101,7 +101,10 @@ mod tests {
     #[test]
     fn grid_dimensions() {
         assert_eq!(TILES, 32);
-        assert_eq!(u16::from(PORTS), u16::from(TILES) * u16::from(PORTS_PER_TILE));
+        assert_eq!(
+            u16::from(PORTS),
+            u16::from(TILES) * u16::from(PORTS_PER_TILE)
+        );
         assert_eq!(XBAR_INPUTS, PORTS_PER_TILE * COLS); // 16 ports per row
         assert_eq!(XBAR_OUTPUTS, PORTS_PER_TILE * ROWS); // 8 ports per column
     }

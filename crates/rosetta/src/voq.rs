@@ -188,7 +188,13 @@ mod tests {
                 id += 1;
             }
         }
-        inject(0, Tag { id: 999, out_port: 5 });
+        inject(
+            0,
+            Tag {
+                id: 999,
+                out_port: 5,
+            },
+        );
     }
 
     #[test]
@@ -230,7 +236,13 @@ mod tests {
     fn voq_output_serves_one_per_cycle() {
         let mut sw = VoqSwitch::new(4);
         for i in 0..4u8 {
-            sw.inject(i, Tag { id: i as u64, out_port: 2 });
+            sw.inject(
+                i,
+                Tag {
+                    id: i as u64,
+                    out_port: 2,
+                },
+            );
         }
         let d0 = sw.step();
         assert_eq!(d0.len(), 1);
@@ -243,7 +255,13 @@ mod tests {
         let mut sw = VoqSwitch::new(4);
         for i in 0..4u8 {
             for k in 0..10 {
-                sw.inject(i, Tag { id: (i as u64) * 100 + k, out_port: 0 });
+                sw.inject(
+                    i,
+                    Tag {
+                        id: (i as u64) * 100 + k,
+                        out_port: 0,
+                    },
+                );
             }
         }
         let deliveries = sw.drain(100);
@@ -258,7 +276,13 @@ mod tests {
     fn drain_empties_switch() {
         let mut sw = VoqSwitch::new(8);
         for i in 0..8u8 {
-            sw.inject(i, Tag { id: i as u64, out_port: (7 - i) });
+            sw.inject(
+                i,
+                Tag {
+                    id: i as u64,
+                    out_port: (7 - i),
+                },
+            );
         }
         let deliveries = sw.drain(100);
         assert_eq!(deliveries.len(), 8);

@@ -83,9 +83,7 @@ impl<'a> Router<'a> {
         }
         let via = match self.algo {
             RoutingAlgorithm::Minimal => Via::Direct,
-            RoutingAlgorithm::Valiant => self
-                .random_detour(src, dst, rng)
-                .unwrap_or(Via::Direct),
+            RoutingAlgorithm::Valiant => self.random_detour(src, dst, rng).unwrap_or(Via::Direct),
             RoutingAlgorithm::Adaptive => self.adaptive_choice(src, dst, view, rng),
         };
         RouteState::new(dst, via)
@@ -251,12 +249,7 @@ impl<'a> Router<'a> {
         }
     }
 
-    fn random_switch_detour(
-        &self,
-        src: SwitchId,
-        dst: SwitchId,
-        rng: &mut DetRng,
-    ) -> Option<Via> {
+    fn random_switch_detour(&self, src: SwitchId, dst: SwitchId, rng: &mut DetRng) -> Option<Via> {
         let a = self.topo.params().switches_per_group;
         if a <= 2 {
             return None;

@@ -112,6 +112,8 @@ pub fn z_for_confidence(confidence: f64) -> f64 {
 }
 
 /// Acklam's rational approximation of the standard normal quantile.
+// Coefficients are quoted exactly as published, beyond f64 precision.
+#[allow(clippy::excessive_precision)]
 fn inverse_normal_cdf(p: f64) -> f64 {
     debug_assert!((0.0..1.0).contains(&p));
     const A: [f64; 6] = [

@@ -45,7 +45,12 @@ impl RateSeries {
         self.buckets
             .iter()
             .enumerate()
-            .map(|(i, &total)| (i as u64 * self.bucket_width, total / self.bucket_width as f64))
+            .map(|(i, &total)| {
+                (
+                    i as u64 * self.bucket_width,
+                    total / self.bucket_width as f64,
+                )
+            })
             .collect()
     }
 

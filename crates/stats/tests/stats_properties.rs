@@ -26,7 +26,7 @@ proptest! {
     /// quartile when no sample falls between them.
     #[test]
     fn box_summary_ordered(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
-        let sorted_contains = |needle: f64, hay: &[f64]| hay.iter().any(|&v| v == needle);
+        let sorted_contains = |needle: f64, hay: &[f64]| hay.contains(&needle);
         let snapshot = values.clone();
         let mut s = Sample::from_values(values);
         let b = s.box_summary();

@@ -149,10 +149,7 @@ mod tests {
     #[test]
     fn interleaved_even_split_alternates() {
         let a = Allocation::split(8, 4, AllocationPolicy::Interleaved, 0);
-        assert_eq!(
-            a.victim,
-            vec![NodeId(0), NodeId(2), NodeId(4), NodeId(6)]
-        );
+        assert_eq!(a.victim, vec![NodeId(0), NodeId(2), NodeId(4), NodeId(6)]);
         assert_partition(&a, 8);
     }
 

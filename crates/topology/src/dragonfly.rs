@@ -68,7 +68,10 @@ impl std::fmt::Display for TopologyError {
                 write!(f, "multiple groups but global_links_per_pair == 0")
             }
             TopologyError::RadixExceeded { needed, available } => {
-                write!(f, "switch needs {needed} ports but only {available} available")
+                write!(
+                    f,
+                    "switch needs {needed} ports but only {available} available"
+                )
             }
         }
     }
@@ -199,23 +202,22 @@ impl Dragonfly {
         let mut global_by_group = vec![vec![Vec::new(); g as usize]; s_total];
         let mut gateways = vec![vec![Vec::new(); g as usize]; g as usize];
 
-        let add_pair =
-            |channels: &mut Vec<Channel>,
-             between: &mut HashMap<(SwitchId, SwitchId), Vec<ChannelId>>,
-             x: SwitchId,
-             y: SwitchId,
-             class: LinkClass| {
-                for (from, to) in [(x, y), (y, x)] {
-                    let id = ChannelId(channels.len() as u32);
-                    channels.push(Channel {
-                        id,
-                        from,
-                        to,
-                        class,
-                    });
-                    between.entry((from, to)).or_default().push(id);
-                }
-            };
+        let add_pair = |channels: &mut Vec<Channel>,
+                        between: &mut HashMap<(SwitchId, SwitchId), Vec<ChannelId>>,
+                        x: SwitchId,
+                        y: SwitchId,
+                        class: LinkClass| {
+            for (from, to) in [(x, y), (y, x)] {
+                let id = ChannelId(channels.len() as u32);
+                channels.push(Channel {
+                    id,
+                    from,
+                    to,
+                    class,
+                });
+                between.entry((from, to)).or_default().push(id);
+            }
+        };
 
         // Intra-group full mesh.
         for grp in 0..g {
@@ -244,7 +246,13 @@ impl Dragonfly {
                 for k in 0..params.global_links_per_pair {
                     let si = SwitchId(i * a + slot_switch(i, j, k));
                     let sj = SwitchId(j * a + slot_switch(j, i, k));
-                    add_pair(&mut channels, &mut between, si, sj, LinkClass::GlobalOptical);
+                    add_pair(
+                        &mut channels,
+                        &mut between,
+                        si,
+                        sj,
+                        LinkClass::GlobalOptical,
+                    );
                 }
             }
         }
@@ -431,8 +439,7 @@ impl Dragonfly {
     /// Directed channels crossing a bisection of groups: `left` holds the
     /// group ids on one side.
     pub fn bisection_channels(&self, left: &[GroupId]) -> Vec<ChannelId> {
-        let is_left =
-            |sw: SwitchId| -> bool { left.contains(&self.group_of(sw)) };
+        let is_left = |sw: SwitchId| -> bool { left.contains(&self.group_of(sw)) };
         self.channels
             .iter()
             .filter(|c| is_left(c.from) != is_left(c.to))
@@ -483,7 +490,10 @@ mod tests {
         assert!(p.validate_radix(9).is_ok());
         assert!(matches!(
             p.validate_radix(8),
-            Err(TopologyError::RadixExceeded { needed: 9, available: 8 })
+            Err(TopologyError::RadixExceeded {
+                needed: 9,
+                available: 8
+            })
         ));
     }
 

@@ -19,8 +19,6 @@ mod systems;
 pub use allocation::{Allocation, AllocationPolicy};
 pub use dragonfly::{Channel, Dragonfly, DragonflyParams, TopologyError};
 pub use ids::{ChannelId, GroupId, NodeId, SwitchId};
-pub use paths::Path;
 pub use link::{LinkClass, NS_PER_METRE};
-pub use systems::{
-    crystal, largest_slingshot, malbec, shandy, shandy_scaled, tiny, ROSETTA_RADIX,
-};
+pub use paths::Path;
+pub use systems::{crystal, largest_slingshot, malbec, shandy, shandy_scaled, tiny, ROSETTA_RADIX};

@@ -46,7 +46,9 @@ mod tests {
 
     #[test]
     fn propagation_scales_with_length() {
-        assert!(LinkClass::GlobalOptical.propagation_ns() > LinkClass::LocalCopper.propagation_ns());
+        assert!(
+            LinkClass::GlobalOptical.propagation_ns() > LinkClass::LocalCopper.propagation_ns()
+        );
         assert!((LinkClass::LocalCopper.propagation_ns() - 13.0).abs() < 1e-9);
         assert!((LinkClass::GlobalOptical.propagation_ns() - 100.0).abs() < 1e-9);
     }

@@ -49,7 +49,7 @@ impl Dragonfly {
         for ch in self.next_hops_toward_switch(cur, dst) {
             let next = self.channel(ch).to;
             // Only continue along hops that can still finish in time.
-            if self.min_hops(next, dst) as usize <= remaining - 1 {
+            if (self.min_hops(next, dst) as usize) < remaining {
                 stack.push(ch);
                 self.enumerate(next, dst, remaining - 1, stack, out, limit);
                 stack.pop();

@@ -6,14 +6,12 @@ use slingshot_topology::{
 };
 
 fn arb_params() -> impl Strategy<Value = DragonflyParams> {
-    (1u32..6, 1u32..6, 1u32..5, 1u32..4, 1u32..3).prop_map(|(g, a, p, m, intra)| {
-        DragonflyParams {
-            groups: g,
-            switches_per_group: a,
-            endpoints_per_switch: p,
-            global_links_per_pair: if g > 1 { m } else { 0 },
-            intra_links_per_pair: intra,
-        }
+    (1u32..6, 1u32..6, 1u32..5, 1u32..4, 1u32..3).prop_map(|(g, a, p, m, intra)| DragonflyParams {
+        groups: g,
+        switches_per_group: a,
+        endpoints_per_switch: p,
+        global_links_per_pair: if g > 1 { m } else { 0 },
+        intra_links_per_pair: intra,
     })
 }
 

@@ -11,12 +11,12 @@ pub fn grid3d(n: u32) -> (u32, u32, u32) {
     let mut best = (1, 1, n);
     let mut best_surface = u64::MAX;
     for a in 1..=n {
-        if n % a != 0 {
+        if !n.is_multiple_of(a) {
             continue;
         }
         let rem = n / a;
         for b in 1..=rem {
-            if rem % b != 0 {
+            if !rem.is_multiple_of(b) {
                 continue;
             }
             let c = rem / b;
@@ -34,7 +34,7 @@ pub fn grid3d(n: u32) -> (u32, u32, u32) {
 pub fn grid2d(n: u32) -> (u32, u32) {
     let mut best = (1, n);
     for a in 1..=n {
-        if n % a == 0 {
+        if n.is_multiple_of(a) {
             let b = n / a;
             if a <= b {
                 best = (a, b);
@@ -115,31 +115,59 @@ pub fn sweep3d(n: u32, bytes: u64, iters: u32, compute: SimDuration) -> Vec<Scri
             // Forward sweep: wait on west and north, compute, feed east
             // and south.
             if x > 0 {
-                s.push(MpiOp::Recv { src: rank_at(x - 1, y), tag: t });
+                s.push(MpiOp::Recv {
+                    src: rank_at(x - 1, y),
+                    tag: t,
+                });
             }
             if y > 0 {
-                s.push(MpiOp::Recv { src: rank_at(x, y - 1), tag: t + 1 });
+                s.push(MpiOp::Recv {
+                    src: rank_at(x, y - 1),
+                    tag: t + 1,
+                });
             }
             s.push(MpiOp::Compute(compute));
             if x + 1 < px {
-                s.push(MpiOp::Send { dst: rank_at(x + 1, y), bytes, tag: t });
+                s.push(MpiOp::Send {
+                    dst: rank_at(x + 1, y),
+                    bytes,
+                    tag: t,
+                });
             }
             if y + 1 < py {
-                s.push(MpiOp::Send { dst: rank_at(x, y + 1), bytes, tag: t + 1 });
+                s.push(MpiOp::Send {
+                    dst: rank_at(x, y + 1),
+                    bytes,
+                    tag: t + 1,
+                });
             }
             // Backward sweep: the mirror image.
             if x + 1 < px {
-                s.push(MpiOp::Recv { src: rank_at(x + 1, y), tag: t + 2 });
+                s.push(MpiOp::Recv {
+                    src: rank_at(x + 1, y),
+                    tag: t + 2,
+                });
             }
             if y + 1 < py {
-                s.push(MpiOp::Recv { src: rank_at(x, y + 1), tag: t + 3 });
+                s.push(MpiOp::Recv {
+                    src: rank_at(x, y + 1),
+                    tag: t + 3,
+                });
             }
             s.push(MpiOp::Compute(compute));
             if x > 0 {
-                s.push(MpiOp::Send { dst: rank_at(x - 1, y), bytes, tag: t + 2 });
+                s.push(MpiOp::Send {
+                    dst: rank_at(x - 1, y),
+                    bytes,
+                    tag: t + 2,
+                });
             }
             if y > 0 {
-                s.push(MpiOp::Send { dst: rank_at(x, y - 1), bytes, tag: t + 3 });
+                s.push(MpiOp::Send {
+                    dst: rank_at(x, y - 1),
+                    bytes,
+                    tag: t + 3,
+                });
             }
         }
     }
@@ -164,7 +192,11 @@ pub fn incast(n: u32, bytes: u64, iters: u32) -> Vec<Script> {
                     s.push(MpiOp::Recv { src, tag: it });
                 }
             } else {
-                s.push(MpiOp::Send { dst: 0, bytes, tag: it });
+                s.push(MpiOp::Send {
+                    dst: 0,
+                    bytes,
+                    tag: it,
+                });
             }
         }
     }

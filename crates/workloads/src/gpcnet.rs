@@ -20,9 +20,8 @@ pub fn incast_aggressor(n: u32, bytes: u64, window: u32) -> Vec<Script> {
     assert!(n >= 2, "incast needs a target and at least one source");
     let mut scripts = Vec::with_capacity(n as usize);
     // Rank 0: the incast target, idle.
-    scripts.push(
-        Script::from_ops(vec![MpiOp::Compute(SimDuration::from_us(100))]).repeat_forever(),
-    );
+    scripts
+        .push(Script::from_ops(vec![MpiOp::Compute(SimDuration::from_us(100))]).repeat_forever());
     for _ in 1..n {
         let mut ops = Vec::with_capacity(window as usize + 1);
         for _ in 0..window.max(1) {
@@ -44,13 +43,12 @@ pub fn bursty_incast_aggressor(
 ) -> Vec<Script> {
     assert!(n >= 2);
     let mut scripts = Vec::with_capacity(n as usize);
-    scripts.push(
-        Script::from_ops(vec![MpiOp::Compute(SimDuration::from_us(100))]).repeat_forever(),
-    );
+    scripts
+        .push(Script::from_ops(vec![MpiOp::Compute(SimDuration::from_us(100))]).repeat_forever());
     // Cap the expanded ops per pass; huge bursts are expressed as a capped
     // put train with a fence (the fence paces the loop so the steady-state
     // behaviour matches an uninterrupted burst).
-    let expanded = burst_size.min(512).max(1);
+    let expanded = burst_size.clamp(1, 512);
     for _ in 1..n {
         let mut ops = Vec::with_capacity(expanded as usize + 2);
         for _ in 0..expanded {

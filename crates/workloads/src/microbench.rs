@@ -53,12 +53,8 @@ impl Microbench {
                 4 << 20,
                 16 << 20,
             ],
-            Microbench::Allreduce => {
-                &[8, 128, 1 << 10, 16 << 10, 128 << 10, 1 << 20, 4 << 20]
-            }
-            Microbench::Alltoall => {
-                &[8, 128, 1 << 10, 16 << 10, 128 << 10, 1 << 20, 4 << 20]
-            }
+            Microbench::Allreduce => &[8, 128, 1 << 10, 16 << 10, 128 << 10, 1 << 20, 4 << 20],
+            Microbench::Alltoall => &[8, 128, 1 << 10, 16 << 10, 128 << 10, 1 << 20, 4 << 20],
             Microbench::Barrier => &[8],
             Microbench::Broadcast => &[
                 8,
@@ -78,18 +74,16 @@ impl Microbench {
     pub fn scripts(self, n: u32, bytes: u64, iters: u32) -> Vec<Script> {
         match self {
             Microbench::Pingpong => pingpong(n, bytes, iters),
-            Microbench::Allreduce => iterate_collective(n, iters, |tag| {
-                coll::allreduce(n, bytes, tag)
-            }),
-            Microbench::Alltoall => iterate_collective(n, iters, |tag| {
-                coll::alltoall(n, bytes, tag)
-            }),
-            Microbench::Barrier => {
-                iterate_collective(n, iters, |tag| coll::barrier(n, tag))
+            Microbench::Allreduce => {
+                iterate_collective(n, iters, |tag| coll::allreduce(n, bytes, tag))
             }
-            Microbench::Broadcast => iterate_collective(n, iters, |tag| {
-                coll::bcast(n, 0, bytes, tag)
-            }),
+            Microbench::Alltoall => {
+                iterate_collective(n, iters, |tag| coll::alltoall(n, bytes, tag))
+            }
+            Microbench::Barrier => iterate_collective(n, iters, |tag| coll::barrier(n, tag)),
+            Microbench::Broadcast => {
+                iterate_collective(n, iters, |tag| coll::bcast(n, 0, bytes, tag))
+            }
         }
     }
 }
@@ -128,11 +122,19 @@ fn pingpong(n: u32, bytes: u64, iters: u32) -> Vec<Script> {
             s.push(MpiOp::Mark(it));
             let r = r as u32;
             if r == a {
-                s.push(MpiOp::Send { dst: b, bytes, tag: it });
+                s.push(MpiOp::Send {
+                    dst: b,
+                    bytes,
+                    tag: it,
+                });
                 s.push(MpiOp::Recv { src: b, tag: it });
             } else if r == b {
                 s.push(MpiOp::Recv { src: a, tag: it });
-                s.push(MpiOp::Send { dst: a, bytes, tag: it });
+                s.push(MpiOp::Send {
+                    dst: a,
+                    bytes,
+                    tag: it,
+                });
             }
         }
     }

@@ -6,9 +6,9 @@
 //! cargo run --release --example congestion_duel
 //! ```
 
+use slingshot::topology::AllocationPolicy;
 use slingshot::Profile;
 use slingshot_experiments::{run_pair, Cell, Victim};
-use slingshot::topology::AllocationPolicy;
 use slingshot_workloads::{Congestor, HpcApp, Microbench};
 
 fn main() {

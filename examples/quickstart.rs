@@ -37,12 +37,9 @@ fn main() {
         } = n
         {
             println!(
-                "64 KiB message delivered in {} ({} effective Gb/s)",
+                "64 KiB message delivered in {} ({:.1} effective Gb/s)",
                 delivered_at.since(submitted_at),
-                format!(
-                    "{:.1}",
-                    (bytes * 8) as f64 / delivered_at.since(submitted_at).as_ns_f64()
-                ),
+                (bytes * 8) as f64 / delivered_at.since(submitted_at).as_ns_f64(),
             );
         }
     }

@@ -1,3 +1,2 @@
 //! Umbrella crate: re-exports for examples and integration tests.
 pub use slingshot;
-

@@ -62,7 +62,7 @@ proptest! {
         let mut cfg = NetworkConfig::slingshot(slingshot::topology::tiny());
         cfg.seed = seed;
         let mut net = Network::new(cfg);
-        let mut per_dst = vec![0u64; 16];
+        let mut per_dst = [0u64; 16];
         for &(src, dst, bytes) in &msgs {
             net.send(NodeId(src), NodeId(dst), bytes, 0, 0);
             per_dst[(dst % 16) as usize] += bytes;

@@ -1,0 +1,256 @@
+//! Offline stand-in for `criterion`: same macro and builder surface, but a
+//! deliberately simple wall-clock harness instead of the real crate's
+//! statistical machinery.
+//!
+//! Semantics preserved from the real crate:
+//!
+//! * `cargo bench` passes `--bench` to the binary → measure and report.
+//! * `cargo test` runs `harness = false` bench targets **without**
+//!   `--bench` → each benchmark runs exactly once as a smoke test.
+//! * A positional argument filters benchmarks by substring.
+//!
+//! Reported numbers are median wall-clock time per iteration over
+//! `sample_size` samples, each sample auto-sized to take a few
+//! milliseconds.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver, configured from the command line.
+pub struct Criterion {
+    /// Full measurement (`--bench`) vs. run-once smoke mode (cargo test).
+    measure: bool,
+    /// Substring filter from the first positional argument, if any.
+    filter: Option<String>,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measure: false,
+            filter: None,
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Apply command-line arguments (`--bench`, filters); flags the real
+    /// harness accepts but this stub doesn't need are ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--bench" => self.measure = true,
+                "--test" => self.measure = false,
+                // Harness flags that take a value.
+                "--color" | "--format" | "--logfile" | "-Z" => {
+                    let _ = args.next();
+                }
+                flag if flag.starts_with('-') => {}
+                positional => {
+                    if self.filter.is_none() {
+                        self.filter = Some(positional.to_string());
+                    }
+                }
+            }
+        }
+        self
+    }
+
+    /// Number of timing samples per benchmark in measurement mode.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark. Accepts `&str` or `String` ids, like the real
+    /// crate's `IntoBenchmarkId`.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.as_ref();
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            measure: self.measure,
+            sample_size: self.sample_size,
+            per_iter: None,
+        };
+        f(&mut b);
+        match b.per_iter {
+            Some(per_iter) => println!("{id:<44} {:>14}/iter", fmt_duration(per_iter)),
+            None if !self.measure => println!("{id:<44} ok (test mode)"),
+            None => println!("{id:<44} no measurement (b.iter was never called)"),
+        }
+        self
+    }
+
+    /// Start a named group of benchmarks (`group/name` ids).
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timing samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        let saved = self.criterion.sample_size;
+        if let Some(n) = self.sample_size {
+            self.criterion.sample_size = n;
+        }
+        self.criterion.bench_function(&full, f);
+        self.criterion.sample_size = saved;
+        self
+    }
+
+    /// End the group (kept for API parity; dropping works too).
+    pub fn finish(self) {}
+}
+
+/// Times a closure; handed to the benchmark function by the driver.
+pub struct Bencher {
+    measure: bool,
+    sample_size: usize,
+    per_iter: Option<Duration>,
+}
+
+impl Bencher {
+    /// Call `routine` repeatedly and record its median time per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if !self.measure {
+            black_box(routine());
+            return;
+        }
+        // Size each sample so it runs long enough to time reliably.
+        let probe_start = Instant::now();
+        black_box(routine());
+        let probe = probe_start.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(5);
+        let iters = (target.as_nanos() / probe.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut samples: Vec<Duration> = (0..self.sample_size)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine());
+                }
+                start.elapsed() / iters as u32
+            })
+            .collect();
+        samples.sort_unstable();
+        self.per_iter = Some(samples[samples.len() / 2]);
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Group benchmark functions into a named runner, like the real crate.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Produce `fn main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_each_benchmark_once() {
+        let mut calls = 0;
+        let mut c = Criterion::default(); // measure = false
+        c.bench_function("once", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn measurement_mode_times_iterations() {
+        let mut c = Criterion {
+            measure: true,
+            filter: None,
+            sample_size: 3,
+        };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut ran = false;
+        group.bench_function("spin", |b| {
+            b.iter(|| {
+                ran = true;
+                black_box(17u64.wrapping_mul(31))
+            })
+        });
+        group.finish();
+        assert!(ran);
+        assert_eq!(c.sample_size, 3, "group sample_size must not leak");
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut calls = 0;
+        let mut c = Criterion {
+            measure: false,
+            filter: Some("match".into()),
+            sample_size: 5,
+        };
+        c.bench_function("no_hit", |b| b.iter(|| calls += 1));
+        c.bench_function("does_match_this", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+}

@@ -1,0 +1,388 @@
+//! Offline stand-in for `proptest`: random-case property testing with the
+//! subset of the API this workspace uses.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case reports its deterministic case
+//!   number; re-running reproduces it exactly (seeds derive from the test
+//!   name, not from entropy), which substitutes for persistence files.
+//! * **Strategies are direct samplers** (`&self, &mut rng -> Value`), not
+//!   value trees.
+//!
+//! Supported surface: `proptest!` (with optional
+//! `#![proptest_config(...)]`), integer/float range strategies, tuples up
+//! to arity 6, `prop_map`, `Just`, `any::<T>()`, `collection::vec`, and
+//! the `prop_assert*` / `prop_assume!` macros.
+
+use rand::SeedableRng;
+pub use rand_chacha::ChaCha8Rng as TestRng;
+use std::ops::{Range, RangeInclusive};
+
+pub mod collection;
+
+/// Per-test configuration. Only `cases` is honored.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate's default.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config that runs `cases` accepted cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Outcome of one generated case (returned by the macro-built closure).
+pub enum CaseResult {
+    /// The property body ran to completion.
+    Pass,
+    /// `prop_assume!` rejected the inputs; the case does not count.
+    Reject,
+}
+
+/// A source of random values of type `Value`.
+///
+/// Unlike the real crate's value-tree strategies, these are plain
+/// samplers: no shrinking, no recursive simplification.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rand::Rng::gen_range(rng, self.clone())
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        rand::Rng::gen_range(rng, self.clone())
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        lo + rand::Rng::gen::<f64>(rng) * (hi - lo)
+    }
+}
+
+impl Strategy for RangeInclusive<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        lo + rand::Rng::gen::<f32>(rng) * (hi - lo)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draw an arbitrary value of this type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rand::Rng::gen(rng)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rand::Rng::gen(rng)
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The strategy producing any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// FNV-1a over the test's full path: a stable, process-independent seed so
+/// every run (and every report of a failing case number) is reproducible.
+fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Drive one property: generate and run cases until `config.cases` have
+/// been accepted. Called by the `proptest!` macro expansion — not part of
+/// the real crate's public API.
+#[doc(hidden)]
+pub fn run_cases<F>(name: &str, config: ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> CaseResult,
+{
+    let seed = seed_for(name);
+    let mut accepted = 0u32;
+    let mut attempts = 0u64;
+    let max_attempts = (config.cases as u64).saturating_mul(16).max(1024);
+    while accepted < config.cases {
+        assert!(
+            attempts < max_attempts,
+            "{name}: gave up after {attempts} attempts with only {accepted}/{} accepted \
+             cases (prop_assume! rejects nearly everything)",
+            config.cases
+        );
+        // Each attempt gets its own generator as a pure function of
+        // (test name, attempt index): failures reproduce exactly.
+        let mut rng = TestRng::seed_from_u64(seed ^ attempts.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let attempt = attempts;
+        attempts += 1;
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| case(&mut rng)));
+        match outcome {
+            Ok(CaseResult::Pass) => accepted += 1,
+            Ok(CaseResult::Reject) => {}
+            Err(payload) => {
+                eprintln!(
+                    "proptest: {name} failed at deterministic case #{attempt} \
+                     (rerun reproduces it)"
+                );
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]`-able function running many generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let __strategy = ( $( $strat, )+ );
+            $crate::run_cases(
+                concat!(module_path!(), "::", stringify!($name)),
+                __config,
+                |__rng| {
+                    let ( $( $arg, )+ ) = $crate::Strategy::generate(&__strategy, __rng);
+                    $body
+                    $crate::CaseResult::Pass
+                },
+            );
+        }
+    )*};
+}
+
+/// Assert a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Assert inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Discard the current case (it does not count toward the case budget)
+/// when its generated inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !$cond {
+            return $crate::CaseResult::Reject;
+        }
+    };
+}
+
+/// The usual glob import for tests: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3u64..10, f in -1.0f64..1.0, i in -5i32..=5) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+            prop_assert!((-5..=5).contains(&i));
+        }
+
+        #[test]
+        fn tuples_and_map(
+            pair in (0u32..4, 0u32..4).prop_map(|(a, b)| (a, a + b)),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(pair.1 >= pair.0);
+            prop_assert!((flag as u8) < 2);
+        }
+
+        #[test]
+        fn vec_lengths(v in crate::collection::vec(0u8..10, 2..6)) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert!(v.iter().all(|&b| b < 10));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        #[test]
+        fn assume_rejects(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_across_runs() {
+        use crate::Strategy;
+        let strat = 0u64..1_000_000;
+        let mut first = Vec::new();
+        crate::run_cases("det", crate::ProptestConfig::with_cases(5), |rng| {
+            first.push(strat.generate(rng));
+            crate::CaseResult::Pass
+        });
+        let mut second = Vec::new();
+        crate::run_cases("det", crate::ProptestConfig::with_cases(5), |rng| {
+            second.push(strat.generate(rng));
+            crate::CaseResult::Pass
+        });
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    #[should_panic(expected = "gave up")]
+    fn hopeless_assume_gives_up() {
+        crate::run_cases("hopeless", crate::ProptestConfig::with_cases(4), |_rng| {
+            crate::CaseResult::Reject
+        });
+    }
+}

@@ -1,0 +1,215 @@
+//! Offline stand-in for `rand_chacha`: a genuine ChaCha8 keystream
+//! generator (RFC 7539 quarter-round, 8 rounds) behind the workspace's
+//! vendored `rand` traits.
+//!
+//! The simulator's determinism contract only requires that the generator
+//! is a pure function of `(seed, stream, position)` with high statistical
+//! quality — it does **not** require bit-compatibility with the upstream
+//! `rand_chacha` crate, and this implementation does not promise it. One
+//! deliberate simplification: [`ChaCha8Rng::set_stream`] discards any
+//! buffered keystream words instead of preserving the exact word position
+//! within the current block; every caller in this workspace forks streams
+//! before drawing, so the distinction is unobservable here.
+
+#![warn(missing_docs)]
+
+use rand::{RngCore, SeedableRng};
+
+const ROUNDS: usize = 8;
+/// "expand 32-byte k" — the ChaCha constant words.
+const SIGMA: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// A ChaCha generator with 8 rounds: the fast variant `rand_chacha` ships
+/// as `ChaCha8Rng`, which is more than sufficient for simulation draws.
+#[derive(Clone, Debug)]
+pub struct ChaCha8Rng {
+    key: [u32; 8],
+    /// 64-bit block counter (words 12–13 of the ChaCha state).
+    counter: u64,
+    /// Stream id (words 14–15) — distinct ids give independent keystreams.
+    stream: u64,
+    /// Keystream words of the current block; `buf_pos == 16` means empty.
+    buf: [u32; 16],
+    buf_pos: usize,
+}
+
+impl ChaCha8Rng {
+    /// Select the keystream identified by `stream`, restarting block
+    /// generation at the current counter.
+    pub fn set_stream(&mut self, stream: u64) {
+        if self.stream != stream {
+            self.stream = stream;
+            self.buf_pos = 16; // discard buffered words from the old stream
+        }
+    }
+
+    /// The current stream id.
+    pub fn get_stream(&self) -> u64 {
+        self.stream
+    }
+
+    #[inline]
+    fn refill(&mut self) {
+        let mut state = [
+            SIGMA[0],
+            SIGMA[1],
+            SIGMA[2],
+            SIGMA[3],
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            self.counter as u32,
+            (self.counter >> 32) as u32,
+            self.stream as u32,
+            (self.stream >> 32) as u32,
+        ];
+        let initial = state;
+        for _ in 0..ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (word, init) in state.iter_mut().zip(initial.iter()) {
+            *word = word.wrapping_add(*init);
+        }
+        self.buf = state;
+        self.buf_pos = 0;
+        self.counter = self.counter.wrapping_add(1);
+    }
+
+    #[inline]
+    fn next_word(&mut self) -> u32 {
+        if self.buf_pos >= 16 {
+            self.refill();
+        }
+        let w = self.buf[self.buf_pos];
+        self.buf_pos += 1;
+        w
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(state: u64) -> Self {
+        // Expand the 64-bit seed into a 256-bit key with SplitMix64, the
+        // same construction rand 0.8 uses for seed_from_u64.
+        let mut s = state;
+        let mut key = [0u32; 8];
+        for pair in key.chunks_mut(2) {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            pair[0] = z as u32;
+            pair[1] = (z >> 32) as u32;
+        }
+        ChaCha8Rng {
+            key,
+            counter: 0,
+            stream: 0,
+            buf: [0; 16],
+            buf_pos: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        self.next_word()
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_word() as u64;
+        let hi = self.next_word() as u64;
+        lo | (hi << 32)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(4) {
+            let bytes = self.next_word().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_keystream() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..128 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_and_streams_differ() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let matches = (0..128).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(matches < 4);
+
+        let mut s0 = ChaCha8Rng::seed_from_u64(1);
+        let mut s1 = ChaCha8Rng::seed_from_u64(1);
+        s1.set_stream(1);
+        let matches = (0..128).filter(|_| s0.next_u64() == s1.next_u64()).count();
+        assert!(matches < 4);
+    }
+
+    #[test]
+    fn clone_preserves_position() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..7 {
+            a.next_u32(); // land mid-block
+        }
+        let mut b = a.clone();
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn output_bits_are_balanced() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let ones: u32 = (0..1000).map(|_| rng.next_u64().count_ones()).sum();
+        // 64,000 bits, expect ~32,000 ones; 6 sigma ≈ 760.
+        assert!((31_000..33_000).contains(&ones), "ones {ones}");
+    }
+
+    #[test]
+    fn fill_bytes_partial_chunks() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut buf = [0u8; 11];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -1,0 +1,379 @@
+//! Offline stand-in for `rayon`: the subset of the data-parallelism API
+//! this workspace uses, executed on scoped OS threads instead of a
+//! work-stealing pool.
+//!
+//! Shape preserved from the real crate:
+//!
+//! * `ThreadPoolBuilder::new().num_threads(n).build()?` then
+//!   `pool.install(|| ...)` scopes the parallelism width;
+//! * `slice.par_iter().map(f).collect::<Vec<_>>()` returns results in
+//!   input order regardless of which thread ran which item;
+//! * `current_num_threads()` reports the installed width.
+//!
+//! Differences: `install` runs its closure on the calling thread (the
+//! real crate migrates it onto a pool worker), and worker threads are
+//! spawned per `collect` call rather than kept hot. For coarse-grained
+//! simulation work items (milliseconds to minutes each), thread spawn
+//! overhead (~tens of microseconds) is noise.
+
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+pub mod prelude {
+    //! The usual glob import: traits needed for `par_iter().map().collect()`.
+    pub use crate::{IntoParallelRefIterator, ParallelIterator};
+}
+
+thread_local! {
+    /// Parallelism width installed by the innermost `ThreadPool::install`
+    /// on this thread; 0 = none installed (use the hardware default).
+    static INSTALLED_WIDTH: Cell<usize> = const { Cell::new(0) };
+}
+
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The number of threads parallel iterators will use here and now.
+pub fn current_num_threads() -> usize {
+    let installed = INSTALLED_WIDTH.with(Cell::get);
+    if installed == 0 {
+        hardware_threads()
+    } else {
+        installed
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (never produced by this
+/// implementation; kept so `?`/`expect` call sites compile unchanged).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for a [`ThreadPool`].
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Start building a pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Use exactly `n` threads; 0 (the default) means the hardware count.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let width = if self.num_threads == 0 {
+            hardware_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { width })
+    }
+}
+
+/// A parallelism scope of fixed width.
+pub struct ThreadPool {
+    width: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's width governing any parallel iterators
+    /// it executes; restores the previous width afterwards (even on
+    /// panic).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(usize);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                INSTALLED_WIDTH.with(|w| w.set(self.0));
+            }
+        }
+        let _restore = Restore(INSTALLED_WIDTH.with(|w| w.replace(self.width)));
+        op()
+    }
+
+    /// This pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.width
+    }
+}
+
+/// Run two closures, potentially in parallel, and return both results.
+///
+/// As in the real crate, `oper_a` runs on the calling thread; `oper_b`
+/// may run on another thread. With a width of 1 installed, both run
+/// sequentially on the calling thread.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let width = current_num_threads();
+    if width <= 1 {
+        let ra = oper_a();
+        let rb = oper_b();
+        return (ra, rb);
+    }
+    std::thread::scope(|scope| {
+        let handle_b = scope.spawn(move || {
+            // Inherit the caller's installed width so nested parallel
+            // iterators on this side still honor `--jobs`-style caps.
+            INSTALLED_WIDTH.with(|w| w.set(width));
+            oper_b()
+        });
+        let ra = oper_a();
+        match handle_b.join() {
+            Ok(rb) => (ra, rb),
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    })
+}
+
+/// Conversion into a by-reference parallel iterator (`.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// The iterator's item type.
+    type Item: 'a;
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Iterate the collection's elements by reference, in parallel.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = ParSlice<'a, T>;
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = ParSlice<'a, T>;
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { slice: self }
+    }
+}
+
+/// A parallel pipeline that can be mapped and collected.
+pub trait ParallelIterator: Sized {
+    /// The item type flowing through the pipeline.
+    type Item;
+
+    /// Apply `f` to every item in parallel.
+    fn map<U, F>(self, f: F) -> ParMap<Self, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> U + Sync,
+    {
+        ParMap { inner: self, f }
+    }
+
+    /// Execute the pipeline, preserving input order in the output.
+    fn collect<C: FromParallel<Self::Item>>(self) -> C
+    where
+        Self::Item: Send,
+    {
+        C::from_ordered_vec(self.run())
+    }
+
+    /// Execute the pipeline into an ordered `Vec` (implementation detail).
+    #[doc(hidden)]
+    fn run(self) -> Vec<Self::Item>
+    where
+        Self::Item: Send;
+}
+
+/// Parallel iterator over a slice (`slice.par_iter()`).
+pub struct ParSlice<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParSlice<'a, T> {
+    type Item = &'a T;
+    fn run(self) -> Vec<&'a T> {
+        // No closure to pay for: just collect the references.
+        self.slice.iter().collect()
+    }
+}
+
+/// Parallel iterator adaptor returned by [`ParallelIterator::map`].
+pub struct ParMap<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<'a, T, U, F> ParallelIterator for ParMap<ParSlice<'a, T>, F>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&'a T) -> U + Sync,
+{
+    type Item = U;
+    fn run(self) -> Vec<U> {
+        run_indexed(self.inner.slice, &self.f)
+    }
+}
+
+// Two-stage pipelines (`par_iter().map(f).map(g)`) compose the closures.
+impl<'a, T, U, V, F, G> ParallelIterator for ParMap<ParMap<ParSlice<'a, T>, F>, G>
+where
+    T: Sync,
+    U: Send,
+    V: Send,
+    F: Fn(&'a T) -> U + Sync,
+    G: Fn(U) -> V + Sync,
+{
+    type Item = V;
+    fn run(self) -> Vec<V> {
+        let (f, g) = (self.inner.f, self.f);
+        run_indexed(self.inner.inner.slice, &move |t| g(f(t)))
+    }
+}
+
+/// Fan `items` across `current_num_threads()` scoped workers; results come
+/// back slotted by input index, so the output order never depends on
+/// scheduling.
+fn run_indexed<'a, T, U, F>(items: &'a [T], f: &F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&'a T) -> U + Sync,
+{
+    let workers = current_num_threads().min(items.len()).max(1);
+    if workers == 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let done: Vec<Mutex<Option<U>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                // The whole width is committed to this fan-out: nested
+                // parallel iterators on a worker run serially, bounding
+                // total threads by the installed width (the real crate
+                // bounds them by sharing one pool).
+                INSTALLED_WIDTH.with(|w| w.set(1));
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else { break };
+                    let value = f(item);
+                    *done[i].lock().unwrap() = Some(value);
+                }
+            });
+        }
+    });
+    done.into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("worker completed every claimed slot")
+        })
+        .collect()
+}
+
+/// Ordered collection from a parallel pipeline (`FromParallelIterator`
+/// stand-in).
+pub trait FromParallel<T> {
+    /// Build the collection from results already in input order.
+    fn from_ordered_vec(v: Vec<T>) -> Self;
+}
+
+impl<T> FromParallel<T> for Vec<T> {
+    fn from_ordered_vec(v: Vec<T>) -> Vec<T> {
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..500).collect();
+        let squares: Vec<u64> = input.par_iter().map(|&x| x * x).collect();
+        assert_eq!(squares, (0..500).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chained_maps_compose() {
+        let input = vec![1u32, 2, 3, 4];
+        let out: Vec<String> = input
+            .par_iter()
+            .map(|&x| x + 1)
+            .map(|x| x.to_string())
+            .collect();
+        assert_eq!(out, vec!["2", "3", "4", "5"]);
+    }
+
+    #[test]
+    fn install_scopes_width() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        pool.install(|| {
+            assert_eq!(current_num_threads(), 3);
+            let inner = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+            inner.install(|| assert_eq!(current_num_threads(), 1));
+            assert_eq!(current_num_threads(), 3);
+        });
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn work_actually_runs_on_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        let input: Vec<u32> = (0..64).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let out: Vec<u32> = pool.install(|| {
+            input
+                .par_iter()
+                .map(|&x| {
+                    ids.lock().unwrap().insert(std::thread::current().id());
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    x
+                })
+                .collect()
+        });
+        assert_eq!(out, input);
+        // With 64 sleeping items over 4 workers, more than one thread
+        // must have participated.
+        assert!(ids.lock().unwrap().len() > 1);
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [7u32];
+        let out: Vec<u32> = one.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, vec![14]);
+    }
+}

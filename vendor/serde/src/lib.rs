@@ -1,0 +1,246 @@
+//! Offline stand-in for `serde`'s serialization half.
+//!
+//! The real serde drives a visitor (`Serializer`); every consumer in this
+//! workspace only ever feeds `#[derive(Serialize)]` types into
+//! `serde_json::to_string_pretty`, so the vendored trait takes the direct
+//! route: serialize into an owned JSON-like [`Value`] tree that
+//! `serde_json` renders. The derive macro is re-exported from the sibling
+//! `serde_derive` crate, mirroring the real crate's `derive` feature.
+
+#![warn(missing_docs)]
+
+// The derive macro emits `::serde::` paths; make them resolve inside this
+// crate too (for the tests below).
+extern crate self as serde;
+
+pub use serde_derive::Serialize;
+
+use std::collections::{BTreeMap, HashMap};
+
+/// An owned JSON-like data model: the output of [`Serialize::serialize`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null` (from `Option::None` and non-finite floats).
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Unsigned integer.
+    UInt(u64),
+    /// Signed integer (only used for negative values).
+    Int(i64),
+    /// Floating point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+/// Types that can be serialized into a [`Value`] tree.
+pub trait Serialize {
+    /// Build the value tree for `self`.
+    fn serialize(&self) -> Value;
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value { Value::UInt(*self as u64) }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                if *self < 0 { Value::Int(*self as i64) } else { Value::UInt(*self as u64) }
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        self.as_slice().serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        self.as_slice().serialize()
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize()),+])
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize(&self) -> Value {
+        // Sort keys so the rendered JSON is deterministic.
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.serialize()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(3u32.serialize(), Value::UInt(3));
+        assert_eq!((-2i64).serialize(), Value::Int(-2));
+        assert_eq!(5i32.serialize(), Value::UInt(5));
+        assert_eq!(true.serialize(), Value::Bool(true));
+        assert_eq!(1.5f64.serialize(), Value::Float(1.5));
+        assert_eq!("hi".serialize(), Value::Str("hi".into()));
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(
+            vec![1u8, 2].serialize(),
+            Value::Array(vec![Value::UInt(1), Value::UInt(2)])
+        );
+        assert_eq!(None::<u32>.serialize(), Value::Null);
+        assert_eq!(Some(7u32).serialize(), Value::UInt(7));
+        assert_eq!(
+            (1u32, "a").serialize(),
+            Value::Array(vec![Value::UInt(1), Value::Str("a".into())])
+        );
+    }
+
+    #[test]
+    fn derive_named_struct_and_enum() {
+        #[derive(Serialize)]
+        struct Point {
+            x: u32,
+            label: String,
+        }
+        #[derive(Serialize)]
+        enum Kind {
+            Alpha,
+            Beta,
+        }
+        #[derive(Serialize)]
+        struct Wrap(u64);
+        #[derive(Serialize)]
+        struct Pair(u64, bool);
+
+        let p = Point {
+            x: 4,
+            label: "n".into(),
+        };
+        assert_eq!(
+            p.serialize(),
+            Value::Object(vec![
+                ("x".into(), Value::UInt(4)),
+                ("label".into(), Value::Str("n".into())),
+            ])
+        );
+        assert_eq!(Kind::Alpha.serialize(), Value::Str("Alpha".into()));
+        assert_eq!(Kind::Beta.serialize(), Value::Str("Beta".into()));
+        assert_eq!(Wrap(9).serialize(), Value::UInt(9));
+        assert_eq!(
+            Pair(1, false).serialize(),
+            Value::Array(vec![Value::UInt(1), Value::Bool(false)])
+        );
+    }
+}

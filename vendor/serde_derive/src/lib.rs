@@ -1,0 +1,260 @@
+//! Offline stand-in for `serde_derive`: `#[derive(Serialize)]` without
+//! `syn`/`quote`, hand-parsing the derive input's token stream.
+//!
+//! Supported shapes — the ones this workspace actually derives on:
+//!
+//! * named-field structs → JSON objects (field order preserved)
+//! * tuple structs → newtype transparency for one field, JSON arrays
+//!   otherwise
+//! * fieldless enums → the variant name as a JSON string
+//!
+//! Generics and data-carrying enum variants are rejected with a compile
+//! error naming the limitation, so an unsupported use fails loudly at the
+//! definition site instead of producing wrong JSON.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (the vendored trait) for a type.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    match parse(&tokens) {
+        Ok(item) => generate(&item),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+enum Item {
+    /// Struct with named fields, in declaration order.
+    Named { name: String, fields: Vec<String> },
+    /// Tuple struct with `arity` fields.
+    Tuple { name: String, arity: usize },
+    /// Enum whose variants all carry no data.
+    Fieldless { name: String, variants: Vec<String> },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skip one `#[...]` attribute starting at `i`; returns the new index.
+fn skip_attr(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '#' {
+            i += 1;
+            // `#![...]` inner attributes cannot appear here; `#[...]` only.
+            if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+            {
+                return i + 1;
+            }
+        }
+    }
+    i
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        let next = skip_attr(tokens, i);
+        if next != i {
+            i = next;
+            continue;
+        }
+        if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                // `pub(crate)`, `pub(super)`, ...
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        return i;
+    }
+}
+
+fn parse(tokens: &[TokenTree]) -> Result<Item, String> {
+    let mut i = skip_attrs_and_vis(tokens, 0);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => {
+            return Err(format!(
+                "vendored serde_derive supports only structs and enums, found {other:?}"
+            ))
+        }
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "vendored serde_derive cannot handle generic type `{name}`; write the Serialize impl by hand"
+        ));
+    }
+    match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            if kind == "struct" {
+                Ok(Item::Named {
+                    name,
+                    fields: parse_named_fields(&body)?,
+                })
+            } else {
+                Ok(Item::Fieldless {
+                    name: name.clone(),
+                    variants: parse_fieldless_variants(&name, &body)?,
+                })
+            }
+        }
+        Some(TokenTree::Group(g))
+            if g.delimiter() == Delimiter::Parenthesis && kind == "struct" =>
+        {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            Ok(Item::Tuple {
+                name,
+                arity: count_tuple_fields(&body),
+            })
+        }
+        other => Err(format!("unsupported {kind} body for `{name}`: {other:?}")),
+    }
+}
+
+/// Split `body` on commas at angle-bracket depth zero. Groups (parens,
+/// brackets, braces) are single tokens in a `TokenStream`, so only `<`/`>`
+/// need explicit depth tracking.
+fn split_top_level_commas(body: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut parts: Vec<Vec<TokenTree>> = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in body {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    parts.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tt.clone());
+    }
+    if !current.is_empty() {
+        parts.push(current);
+    }
+    parts
+}
+
+fn parse_named_fields(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    for part in split_top_level_commas(body) {
+        let i = skip_attrs_and_vis(&part, 0);
+        match part.get(i) {
+            Some(TokenTree::Ident(id)) => {
+                if !matches!(part.get(i + 1), Some(TokenTree::Punct(p)) if p.as_char() == ':') {
+                    return Err(format!("expected `:` after field `{id}`"));
+                }
+                fields.push(id.to_string());
+            }
+            None => {} // trailing comma
+            other => return Err(format!("unexpected token in struct body: {other:?}")),
+        }
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(body: &[TokenTree]) -> usize {
+    split_top_level_commas(body).len()
+}
+
+fn parse_fieldless_variants(enum_name: &str, body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    for part in split_top_level_commas(body) {
+        let i = skip_attrs_and_vis(&part, 0);
+        match part.get(i) {
+            Some(TokenTree::Ident(id)) => {
+                if let Some(TokenTree::Group(_)) = part.get(i + 1) {
+                    return Err(format!(
+                        "vendored serde_derive cannot serialize data-carrying variant \
+                         `{enum_name}::{id}`; write the Serialize impl by hand"
+                    ));
+                }
+                // A `= discriminant` suffix is fine: the name is the value.
+                variants.push(id.to_string());
+            }
+            None => {}
+            other => return Err(format!("unexpected token in enum body: {other:?}")),
+        }
+    }
+    Ok(variants)
+}
+
+fn generate(item: &Item) -> TokenStream {
+    let code = match item {
+        Item::Named { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::serialize(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Item::Tuple { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::serialize(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Item::Tuple { name, arity } => {
+            let entries: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Array(::std::vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Item::Fieldless { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::Value::Str(\
+                         ::std::string::String::from({v:?}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join(", ")
+            )
+        }
+    };
+    code.parse().unwrap()
+}
