@@ -92,12 +92,53 @@ fn bench_routing_decision(c: &mut Criterion) {
     });
 }
 
+fn bench_next_hop_lookup(c: &mut Criterion) {
+    // The precomputed-table fast path: a borrowed candidate slice per
+    // (cur, dst) pair, no hashing, no allocation.
+    let topo = shandy().build();
+    let n = topo.switch_count() as u64;
+    let mut rng = DetRng::seed_from(5);
+    c.bench_function("next_hop_lookup_shandy", |b| {
+        b.iter(|| {
+            let s = SwitchId(rng.below(n) as u32);
+            let d = SwitchId(rng.below(n) as u32);
+            black_box(topo.next_hops_toward_switch(s, d))
+        })
+    });
+    let mut rng = DetRng::seed_from(6);
+    c.bench_function("min_hops_shandy", |b| {
+        b.iter(|| {
+            let s = SwitchId(rng.below(n) as u32);
+            let d = SwitchId(rng.below(n) as u32);
+            black_box(topo.min_hops(s, d))
+        })
+    });
+}
+
+fn bench_inflight_map(c: &mut Criterion) {
+    // Per-packet NIC accounting: one add at launch, one sub at ack.
+    use slingshot::network::InFlightMap;
+    let mut map = InFlightMap::new();
+    let mut rng = DetRng::seed_from(7);
+    c.bench_function("nic_inflight_add_get_sub", |b| {
+        b.iter(|| {
+            let key = rng.below(256) as u32;
+            map.add(key, 4096);
+            let v = black_box(map.get(key));
+            map.sub(key, 4096);
+            v
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_event_queue,
     bench_rng,
     bench_arbiter,
     bench_latency_model,
-    bench_routing_decision
+    bench_routing_decision,
+    bench_next_hop_lookup,
+    bench_inflight_map
 );
 criterion_main!(benches);

@@ -1,0 +1,258 @@
+//! Machine-readable kernel performance snapshot: `BENCH_kernel.json`.
+//!
+//! Times the simulator's hot kernels — next-hop table lookups, adaptive
+//! routing decisions, NIC in-flight accounting, the event queue — and one
+//! end-to-end simulation for an events/sec figure. A counting allocator
+//! wraps the system allocator so every record carries allocs/op next to
+//! ns/op: the routing fast path's zero-allocation claim is measured here
+//! on every run, not asserted once in review.
+//!
+//! Options: `--quick` (CI-sized iteration counts), `--out PATH` (default
+//! `BENCH_kernel.json`), `--strict` (non-zero exit if a kernel expected
+//! to be allocation-free allocates).
+
+use serde::Serialize;
+use slingshot::des::{DetRng, EventQueue, SimTime};
+use slingshot::network::InFlightMap;
+use slingshot::routing::{AdaptiveParams, QuietView, Router, RoutingAlgorithm};
+use slingshot::topology::{shandy, NodeId, SwitchId};
+use slingshot::{Profile, System, SystemBuilder};
+use std::alloc::{GlobalAlloc, Layout, System as SystemAlloc};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// System allocator wrapper that counts allocation calls (alloc and
+/// realloc; frees are not interesting for the per-op budget).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        SystemAlloc.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        SystemAlloc.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        SystemAlloc.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[derive(Serialize)]
+struct BenchRecord {
+    name: String,
+    iters: u64,
+    ns_per_op: f64,
+    allocs_per_op: f64,
+    /// Whether this kernel is required to be allocation-free.
+    zero_alloc_required: bool,
+}
+
+#[derive(Serialize)]
+struct EndToEnd {
+    nodes: u32,
+    messages: u64,
+    events: u64,
+    wall_ns: u64,
+    events_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    schema: u32,
+    mode: String,
+    benches: Vec<BenchRecord>,
+    end_to_end: EndToEnd,
+}
+
+/// Time `iters` calls of `f` after a 1/10 warmup, reading the allocation
+/// counter across the timed region.
+fn bench<F: FnMut()>(name: &str, iters: u64, zero_alloc_required: bool, mut f: F) -> BenchRecord {
+    for _ in 0..iters / 10 {
+        f();
+    }
+    let allocs_before = ALLOCS.load(Ordering::Relaxed);
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let wall = start.elapsed();
+    let allocs = ALLOCS.load(Ordering::Relaxed) - allocs_before;
+    let rec = BenchRecord {
+        name: name.to_string(),
+        iters,
+        ns_per_op: wall.as_nanos() as f64 / iters as f64,
+        allocs_per_op: allocs as f64 / iters as f64,
+        zero_alloc_required,
+    };
+    eprintln!(
+        "{:<32} {:>10.1} ns/op  {:>8.3} allocs/op",
+        rec.name, rec.ns_per_op, rec.allocs_per_op
+    );
+    rec
+}
+
+fn end_to_end(quick: bool) -> EndToEnd {
+    let rounds = if quick { 4 } else { 32 };
+    let mut net = SystemBuilder::new(System::Tiny, Profile::Slingshot)
+        .seed(7)
+        .build();
+    let n = net.node_count();
+    let mut messages = 0u64;
+    let start = Instant::now();
+    for round in 1..=rounds {
+        for src in 0..n {
+            let dst = (src + round) % n;
+            if src == dst {
+                continue;
+            }
+            net.send(NodeId(src), NodeId(dst), 64 << 10, 0, 0);
+            messages += 1;
+        }
+        net.run_to_quiescence(u64::MAX);
+    }
+    let wall = start.elapsed();
+    let events = net.kernel_stats().events_total();
+    let rec = EndToEnd {
+        nodes: n,
+        messages,
+        events,
+        wall_ns: wall.as_nanos() as u64,
+        events_per_sec: events as f64 / wall.as_secs_f64(),
+    };
+    eprintln!(
+        "{:<32} {:>10.0} events/sec ({} events, {} messages)",
+        "end_to_end_tiny", rec.events_per_sec, rec.events, rec.messages
+    );
+    rec
+}
+
+fn main() {
+    let mut quick = false;
+    let mut strict = false;
+    let mut out = String::from("BENCH_kernel.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--strict" => strict = true,
+            "--out" => out = args.next().expect("--out expects a path"),
+            other => {
+                eprintln!("unrecognized option {other:?}");
+                eprintln!("options: --quick | --strict | --out PATH");
+                std::process::exit(2);
+            }
+        }
+    }
+    let scale: u64 = if quick { 1 } else { 10 };
+
+    let topo = shandy().build();
+    let switches = topo.switch_count() as u64;
+    let router = Router::new(&topo, RoutingAlgorithm::Adaptive, AdaptiveParams::default());
+
+    let mut benches = Vec::new();
+
+    let mut rng = DetRng::seed_from(1);
+    benches.push(bench(
+        "routing_next_hop_shandy",
+        200_000 * scale,
+        true,
+        || {
+            let s = SwitchId(rng.below(switches) as u32);
+            let d = SwitchId(rng.below(switches) as u32);
+            black_box(topo.next_hops_toward_switch(s, d));
+        },
+    ));
+
+    let mut rng = DetRng::seed_from(2);
+    benches.push(bench(
+        "topology_min_hops_shandy",
+        200_000 * scale,
+        true,
+        || {
+            let s = SwitchId(rng.below(switches) as u32);
+            let d = SwitchId(rng.below(switches) as u32);
+            black_box(topo.min_hops(s, d));
+        },
+    ));
+
+    let mut rng = DetRng::seed_from(3);
+    benches.push(bench(
+        "routing_adaptive_decide_shandy",
+        100_000 * scale,
+        true,
+        || {
+            let s = SwitchId(rng.below(switches) as u32);
+            let d = SwitchId(rng.below(switches) as u32);
+            black_box(router.decide(s, d, &QuietView, &mut rng));
+        },
+    ));
+
+    // Steady-state NIC accounting: the map is pre-grown by the warmup, so
+    // the timed region exercises probe/insert/backward-shift only.
+    let mut inflight = InFlightMap::new();
+    let mut rng = DetRng::seed_from(4);
+    benches.push(bench(
+        "nic_inflight_add_get_sub",
+        100_000 * scale,
+        true,
+        || {
+            let key = rng.below(256) as u32;
+            inflight.add(key, 4096);
+            black_box(inflight.get(key));
+            inflight.sub(key, 4096);
+        },
+    ));
+
+    let mut queue = EventQueue::with_capacity(32_768);
+    for i in 0..32_768u64 {
+        queue.push(SimTime::from_ps(i * 997 % 1_000_000), i);
+    }
+    let mut jitter: u64 = 0x2545_F491_4F6C_DD1D;
+    benches.push(bench(
+        "event_queue_hold_32k",
+        200_000 * scale,
+        false,
+        || {
+            let (t, v) = queue.pop().expect("standing population");
+            jitter ^= jitter << 13;
+            jitter ^= jitter >> 7;
+            jitter ^= jitter << 17;
+            queue.push(SimTime::from_ps(t.as_ps() + 1_000 + jitter % 20_000), v);
+            black_box(t);
+        },
+    ));
+
+    let report = Report {
+        schema: 1,
+        mode: if quick { "quick" } else { "full" }.to_string(),
+        benches,
+        end_to_end: end_to_end(quick),
+    };
+
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out, json).expect("write BENCH_kernel.json");
+    eprintln!("report written to {out}");
+
+    let leaky: Vec<&BenchRecord> = report
+        .benches
+        .iter()
+        .filter(|b| b.zero_alloc_required && b.allocs_per_op > 0.0)
+        .collect();
+    for b in &leaky {
+        eprintln!(
+            "warning: {} allocates {:.3} times per op on a zero-allocation path",
+            b.name, b.allocs_per_op
+        );
+    }
+    if strict && !leaky.is_empty() {
+        std::process::exit(1);
+    }
+}

@@ -9,8 +9,8 @@
 //! multiplicative recovery.
 
 use crate::{AckFeedback, CongestionControl};
+use fxhash::FxHashMap;
 use slingshot_des::{SimDuration, SimTime};
-use std::collections::HashMap;
 
 /// Tunables of the ECN-like model.
 #[derive(Clone, Copy, Debug)]
@@ -60,7 +60,7 @@ struct EcnState {
 #[derive(Clone, Debug)]
 pub struct EcnCc {
     params: EcnParams,
-    flows: HashMap<u32, EcnState>,
+    flows: FxHashMap<u32, EcnState>,
     throttles: u64,
 }
 
@@ -74,7 +74,7 @@ impl EcnCc {
     pub fn with_params(params: EcnParams) -> Self {
         EcnCc {
             params,
-            flows: HashMap::new(),
+            flows: FxHashMap::default(),
             throttles: 0,
         }
     }

@@ -1,8 +1,8 @@
 //! Slingshot's per-endpoint-pair hardware congestion control.
 
 use crate::{AckFeedback, CongestionControl};
+use fxhash::FxHashMap;
 use slingshot_des::{SimDuration, SimTime};
-use std::collections::HashMap;
 
 /// Tunables of the Slingshot congestion-control model.
 #[derive(Clone, Copy, Debug)]
@@ -52,7 +52,7 @@ struct PairState {
 #[derive(Clone, Debug)]
 pub struct SlingshotCc {
     params: SlingshotCcParams,
-    pairs: HashMap<u32, PairState>,
+    pairs: FxHashMap<u32, PairState>,
     throttles: u64,
 }
 
@@ -68,7 +68,7 @@ impl SlingshotCc {
         assert!((0.0..1.0).contains(&params.decrease_factor));
         SlingshotCc {
             params,
-            pairs: HashMap::new(),
+            pairs: FxHashMap::default(),
             throttles: 0,
         }
     }

@@ -23,4 +23,7 @@ fn main() {
     }
     t.print();
     save_json(&format!("ablation_{}", scale.label()), &rows);
+    if cfg.verbose {
+        slingshot_experiments::report::print_kernel_stats();
+    }
 }

@@ -27,11 +27,13 @@ fn main() {
         .to_path_buf();
     for fig in FIGS {
         println!("\n================ {fig} ================\n");
-        let status = Command::new(exe_dir.join(fig))
-            .arg(format!("--{}", cfg.scale.label()))
-            .arg(format!("--jobs={}", cfg.jobs))
-            .status()
-            .expect("spawn figure binary");
+        let mut cmd = Command::new(exe_dir.join(fig));
+        cmd.arg(format!("--{}", cfg.scale.label()))
+            .arg(format!("--jobs={}", cfg.jobs));
+        if cfg.verbose {
+            cmd.arg("--verbose");
+        }
+        let status = cmd.status().expect("spawn figure binary");
         assert!(status.success(), "{fig} failed");
     }
 }

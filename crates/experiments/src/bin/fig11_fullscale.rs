@@ -33,4 +33,7 @@ fn main() {
         "paper: worst case 3.55x (LAMMPS, 75% incast); congestion control holds at 1024 nodes."
     );
     save_json(&format!("fig11_{}", scale.label()), &rows);
+    if cfg.verbose {
+        slingshot_experiments::report::print_kernel_stats();
+    }
 }

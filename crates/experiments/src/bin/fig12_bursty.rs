@@ -23,4 +23,7 @@ fn main() {
     println!("paper: ≤1.10 at 16 KiB, ≤1.21 at 128 KiB (worst: big bursts, small gaps),");
     println!("1.00 at 1 MiB (congestion control throttles immediately).");
     save_json(&format!("fig12_{}", scale.label()), &rows);
+    if cfg.verbose {
+        slingshot_experiments::report::print_kernel_stats();
+    }
 }

@@ -45,4 +45,7 @@ fn main() {
     println!();
     println!("paper: 2.85x in the same class once the alltoall starts (~0.4 ms), 1.15x in a separate class.");
     save_json(&format!("fig13_{}", scale.label()), &rows);
+    if cfg.verbose {
+        slingshot_experiments::report::print_kernel_stats();
+    }
 }

@@ -37,4 +37,7 @@ fn main() {
     println!("paper: same class → fair 50/50 during overlap; separate classes → job1 holds");
     println!("~80% (its guarantee) and job2 gets ~20% (its 10% + the unallocated 10%).");
     save_json(&format!("fig14_{}", scale.label()), &rows);
+    if cfg.verbose {
+        slingshot_experiments::report::print_kernel_stats();
+    }
 }

@@ -31,4 +31,7 @@ fn main() {
     }
     t.print();
     save_json(&format!("fig2_{}", scale.label()), &r);
+    if cfg.verbose {
+        slingshot_experiments::report::print_kernel_stats();
+    }
 }

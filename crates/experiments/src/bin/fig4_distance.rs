@@ -36,4 +36,7 @@ fn main() {
     }
     t.print();
     save_json(&format!("fig4_{}", scale.label()), &rows);
+    if cfg.verbose {
+        slingshot_experiments::report::print_kernel_stats();
+    }
 }

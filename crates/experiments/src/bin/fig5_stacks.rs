@@ -21,4 +21,7 @@ fn main() {
     println!();
     println!("paper inset at 8 B: verbs ~1.3 us, MPI slightly above libfabric, UDP ~2.3, TCP ~3.3");
     save_json(&format!("fig5_{}", scale.label()), &rows);
+    if cfg.verbose {
+        slingshot_experiments::report::print_kernel_stats();
+    }
 }

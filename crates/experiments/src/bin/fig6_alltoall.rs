@@ -35,4 +35,7 @@ fn main() {
     }
     t.print();
     save_json(&format!("fig6_{}", scale.label()), &r);
+    if cfg.verbose {
+        slingshot_experiments::report::print_kernel_stats();
+    }
 }

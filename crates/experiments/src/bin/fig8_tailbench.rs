@@ -37,4 +37,7 @@ fn main() {
     println!("paper: severe degradation on Aries for silo/xapian/img-dnn, none on Slingshot;");
     println!("sphinx degrades least (lowest communication/computation ratio).");
     save_json(&format!("fig8_{}", scale.label()), &rows);
+    if cfg.verbose {
+        slingshot_experiments::report::print_kernel_stats();
+    }
 }

@@ -47,4 +47,7 @@ fn main() {
     println!("paper: max 93x on Aries vs 1.3x on Slingshot; incast >> all-to-all;");
     println!("impact grows with aggressor share and hits small messages hardest.");
     save_json(&format!("fig9_{}", scale.label()), &cells);
+    if cfg.verbose {
+        slingshot_experiments::report::print_kernel_stats();
+    }
 }

@@ -122,6 +122,30 @@ pub fn fmt_bytes(b: u64) -> String {
     }
 }
 
+/// Print the process-global simulation-kernel counters to stderr
+/// (`--verbose`). Stderr keeps figure stdout byte-comparable across runs
+/// whose wall time differs.
+pub fn print_kernel_stats() {
+    let (k, networks) = slingshot_network::global_kernel_stats();
+    eprintln!();
+    eprintln!("kernel counters ({networks} networks simulated):");
+    eprintln!("  events dispatched      {:>16}", k.events_total());
+    eprintln!("    nic-tx               {:>16}", k.events_nic_tx);
+    eprintln!("    arrive-switch        {:>16}", k.events_arrive_switch);
+    eprintln!("    enqueue-out          {:>16}", k.events_enqueue_out);
+    eprintln!("    tx-done              {:>16}", k.events_tx_done);
+    eprintln!("    credit               {:>16}", k.events_credit);
+    eprintln!("    arrive-nic           {:>16}", k.events_arrive_nic);
+    eprintln!("    ack                  {:>16}", k.events_ack);
+    eprintln!("    loopback             {:>16}", k.events_loopback);
+    eprintln!("    wakeup               {:>16}", k.events_wakeup);
+    eprintln!("  routing decisions      {:>16}", k.routing_decisions);
+    eprintln!("    minimal              {:>16}", k.adaptive_minimal);
+    eprintln!("    non-minimal          {:>16}", k.adaptive_nonminimal);
+    eprintln!("  next-hop lookups       {:>16}", k.next_hop_lookups);
+    eprintln!("  event-queue high water {:>16}", k.queue_hwm);
+}
+
 /// Check whether `path` exists under the results dir (test helper).
 pub fn result_exists(name: &str) -> bool {
     Path::new(&results_dir())

@@ -92,9 +92,13 @@ pub struct RunConfig {
     pub scale: Scale,
     /// Worker threads for the parallel runner (0 = hardware count).
     pub jobs: usize,
+    /// Print simulation-kernel counters (events dispatched, routing
+    /// decisions, queue high-water mark) to stderr after the sweep.
+    pub verbose: bool,
 }
 
-const USAGE: &str = "options: --tiny | --quick (default) | --paper | --jobs N (0 = all cores)";
+const USAGE: &str =
+    "options: --tiny | --quick (default) | --paper | --jobs N (0 = all cores) | --verbose";
 
 impl RunConfig {
     /// Parse from process args; prints usage and exits non-zero on any
@@ -122,12 +126,14 @@ impl RunConfig {
         let mut cfg = RunConfig {
             scale: Scale::Quick,
             jobs: 0,
+            verbose: false,
         };
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--tiny" => cfg.scale = Scale::Tiny,
                 "--paper" => cfg.scale = Scale::Paper,
                 "--quick" => cfg.scale = Scale::Quick,
+                "--verbose" | "-v" => cfg.verbose = true,
                 "--help" | "-h" => return Err(HelpRequested),
                 "--jobs" => match args.next().map(|v| v.parse::<usize>()) {
                     Some(Ok(n)) => cfg.jobs = n,
@@ -166,7 +172,8 @@ mod tests {
             parse(&[]).unwrap(),
             RunConfig {
                 scale: Scale::Quick,
-                jobs: 0
+                jobs: 0,
+                verbose: false
             }
         );
     }
@@ -182,9 +189,20 @@ mod tests {
             cfg,
             RunConfig {
                 scale: Scale::Paper,
-                jobs: 2
+                jobs: 2,
+                verbose: false
             }
         );
+    }
+
+    #[test]
+    fn parses_verbose() {
+        assert!(parse(&["--verbose"]).unwrap().verbose);
+        assert!(parse(&["-v"]).unwrap().verbose);
+        assert!(!parse(&["--tiny"]).unwrap().verbose);
+        let cfg = parse(&["--verbose", "--jobs", "3"]).unwrap();
+        assert!(cfg.verbose);
+        assert_eq!(cfg.jobs, 3);
     }
 
     #[test]

@@ -1,0 +1,203 @@
+//! Always-on simulation-kernel performance counters.
+//!
+//! A [`KernelStats`] block lives inside every [`crate::Network`]: plain
+//! `u64` counters bumped on the event dispatch path (one add each — cheap
+//! enough to leave on unconditionally), plus queue-occupancy high-water
+//! tracking. When a `Network` is dropped its counters are flushed into a
+//! process-global atomic block, so experiment binaries — which build and
+//! discard thousands of networks across worker threads — can report
+//! aggregate kernel activity under `--verbose` without threading state
+//! through every figure module. Totals are sums, so the global snapshot is
+//! deterministic at any `--jobs` width.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-network event and routing counters.
+///
+/// `events_*` partition the dispatched events by type; `routing_decisions`
+/// counts source-switch route choices (once per packet at its ingress
+/// switch), split into `adaptive_minimal` / `adaptive_nonminimal` picks;
+/// `next_hop_lookups` counts per-hop output-channel selections;
+/// `queue_hwm` is the pending-event-population high-water mark.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// NIC finished serializing a packet.
+    pub events_nic_tx: u64,
+    /// Packet arrived at a switch input.
+    pub events_arrive_switch: u64,
+    /// Packet crossed the switch fabric into an output queue.
+    pub events_enqueue_out: u64,
+    /// Output port finished serializing a packet.
+    pub events_tx_done: u64,
+    /// Link-level credit returned upstream.
+    pub events_credit: u64,
+    /// Packet fully arrived at its destination node.
+    pub events_arrive_nic: u64,
+    /// End-to-end ack reached the source NIC.
+    pub events_ack: u64,
+    /// Node-local loopback completion.
+    pub events_loopback: u64,
+    /// User timer fired.
+    pub events_wakeup: u64,
+    /// Source-switch routing decisions (one per packet).
+    pub routing_decisions: u64,
+    /// Adaptive decisions that picked the minimal path.
+    pub adaptive_minimal: u64,
+    /// Adaptive decisions that picked a Valiant-style detour.
+    pub adaptive_nonminimal: u64,
+    /// Per-hop output-channel selections.
+    pub next_hop_lookups: u64,
+    /// Highest pending-event population observed in the queue.
+    pub queue_hwm: u64,
+}
+
+impl KernelStats {
+    /// Total events dispatched (sum of the `events_*` counters).
+    pub fn events_total(&self) -> u64 {
+        self.events_nic_tx
+            + self.events_arrive_switch
+            + self.events_enqueue_out
+            + self.events_tx_done
+            + self.events_credit
+            + self.events_arrive_nic
+            + self.events_ack
+            + self.events_loopback
+            + self.events_wakeup
+    }
+}
+
+/// Process-global aggregate of every dropped network's [`KernelStats`].
+struct GlobalKernelStats {
+    events_nic_tx: AtomicU64,
+    events_arrive_switch: AtomicU64,
+    events_enqueue_out: AtomicU64,
+    events_tx_done: AtomicU64,
+    events_credit: AtomicU64,
+    events_arrive_nic: AtomicU64,
+    events_ack: AtomicU64,
+    events_loopback: AtomicU64,
+    events_wakeup: AtomicU64,
+    routing_decisions: AtomicU64,
+    adaptive_minimal: AtomicU64,
+    adaptive_nonminimal: AtomicU64,
+    next_hop_lookups: AtomicU64,
+    queue_hwm: AtomicU64,
+    networks: AtomicU64,
+}
+
+static GLOBAL: GlobalKernelStats = GlobalKernelStats {
+    events_nic_tx: AtomicU64::new(0),
+    events_arrive_switch: AtomicU64::new(0),
+    events_enqueue_out: AtomicU64::new(0),
+    events_tx_done: AtomicU64::new(0),
+    events_credit: AtomicU64::new(0),
+    events_arrive_nic: AtomicU64::new(0),
+    events_ack: AtomicU64::new(0),
+    events_loopback: AtomicU64::new(0),
+    events_wakeup: AtomicU64::new(0),
+    routing_decisions: AtomicU64::new(0),
+    adaptive_minimal: AtomicU64::new(0),
+    adaptive_nonminimal: AtomicU64::new(0),
+    next_hop_lookups: AtomicU64::new(0),
+    queue_hwm: AtomicU64::new(0),
+    networks: AtomicU64::new(0),
+};
+
+/// Fold one network's counters into the global aggregate (called on
+/// `Network` drop).
+pub(crate) fn flush_to_global(s: &KernelStats) {
+    let g = &GLOBAL;
+    g.events_nic_tx
+        .fetch_add(s.events_nic_tx, Ordering::Relaxed);
+    g.events_arrive_switch
+        .fetch_add(s.events_arrive_switch, Ordering::Relaxed);
+    g.events_enqueue_out
+        .fetch_add(s.events_enqueue_out, Ordering::Relaxed);
+    g.events_tx_done
+        .fetch_add(s.events_tx_done, Ordering::Relaxed);
+    g.events_credit
+        .fetch_add(s.events_credit, Ordering::Relaxed);
+    g.events_arrive_nic
+        .fetch_add(s.events_arrive_nic, Ordering::Relaxed);
+    g.events_ack.fetch_add(s.events_ack, Ordering::Relaxed);
+    g.events_loopback
+        .fetch_add(s.events_loopback, Ordering::Relaxed);
+    g.events_wakeup
+        .fetch_add(s.events_wakeup, Ordering::Relaxed);
+    g.routing_decisions
+        .fetch_add(s.routing_decisions, Ordering::Relaxed);
+    g.adaptive_minimal
+        .fetch_add(s.adaptive_minimal, Ordering::Relaxed);
+    g.adaptive_nonminimal
+        .fetch_add(s.adaptive_nonminimal, Ordering::Relaxed);
+    g.next_hop_lookups
+        .fetch_add(s.next_hop_lookups, Ordering::Relaxed);
+    g.queue_hwm.fetch_max(s.queue_hwm, Ordering::Relaxed);
+    g.networks.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Snapshot of the global aggregate: `(stats, networks_flushed)`.
+///
+/// Includes only networks that have been dropped; totals are sums (and
+/// `queue_hwm` a max), so the snapshot is identical at any worker-thread
+/// count once the same set of networks has been flushed.
+pub fn global_kernel_stats() -> (KernelStats, u64) {
+    let g = &GLOBAL;
+    (
+        KernelStats {
+            events_nic_tx: g.events_nic_tx.load(Ordering::Relaxed),
+            events_arrive_switch: g.events_arrive_switch.load(Ordering::Relaxed),
+            events_enqueue_out: g.events_enqueue_out.load(Ordering::Relaxed),
+            events_tx_done: g.events_tx_done.load(Ordering::Relaxed),
+            events_credit: g.events_credit.load(Ordering::Relaxed),
+            events_arrive_nic: g.events_arrive_nic.load(Ordering::Relaxed),
+            events_ack: g.events_ack.load(Ordering::Relaxed),
+            events_loopback: g.events_loopback.load(Ordering::Relaxed),
+            events_wakeup: g.events_wakeup.load(Ordering::Relaxed),
+            routing_decisions: g.routing_decisions.load(Ordering::Relaxed),
+            adaptive_minimal: g.adaptive_minimal.load(Ordering::Relaxed),
+            adaptive_nonminimal: g.adaptive_nonminimal.load(Ordering::Relaxed),
+            next_hop_lookups: g.next_hop_lookups.load(Ordering::Relaxed),
+            queue_hwm: g.queue_hwm.load(Ordering::Relaxed),
+        },
+        g.networks.load(Ordering::Relaxed),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_event_counters() {
+        let s = KernelStats {
+            events_nic_tx: 1,
+            events_arrive_switch: 2,
+            events_enqueue_out: 3,
+            events_tx_done: 4,
+            events_credit: 5,
+            events_arrive_nic: 6,
+            events_ack: 7,
+            events_loopback: 8,
+            events_wakeup: 9,
+            ..Default::default()
+        };
+        assert_eq!(s.events_total(), 45);
+    }
+
+    #[test]
+    fn flush_accumulates_and_hwm_maxes() {
+        let before = global_kernel_stats();
+        let s = KernelStats {
+            events_ack: 11,
+            queue_hwm: 3,
+            ..Default::default()
+        };
+        flush_to_global(&s);
+        flush_to_global(&s);
+        let after = global_kernel_stats();
+        assert_eq!(after.0.events_ack, before.0.events_ack + 22);
+        assert!(after.0.queue_hwm >= 3);
+        assert_eq!(after.1, before.1 + 2);
+    }
+}

@@ -27,12 +27,16 @@
 #![warn(missing_docs)]
 
 mod config;
+mod inflight;
+mod kernel;
 mod network;
 mod nic;
 mod packet;
 mod switch;
 
 pub use config::{CcConfig, NetworkConfig};
+pub use inflight::InFlightMap;
+pub use kernel::{global_kernel_stats, KernelStats};
 pub use network::{NetStats, Network};
 pub use nic::{CcEngine, Nic};
 pub use packet::{InSource, MessageId, Notification, Packet};

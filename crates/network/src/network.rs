@@ -1,6 +1,8 @@
 //! The assembled packet-level network simulator.
 
 use crate::config::NetworkConfig;
+use crate::inflight::InFlightMap;
+use crate::kernel::{flush_to_global, KernelStats};
 use crate::nic::{CcEngine, Nic};
 use crate::packet::{InSource, MessageId, MessageState, Notification, Packet};
 use crate::switch::{vc_of, OutPort, PortKind, Switch, NUM_VCS};
@@ -105,6 +107,13 @@ pub struct Network {
     packet_latency: Option<slingshot_stats::Sample>,
     n_tc: usize,
     stats: NetStats,
+    kernel: KernelStats,
+}
+
+impl Drop for Network {
+    fn drop(&mut self) {
+        flush_to_global(&self.kernel);
+    }
 }
 
 impl Network {
@@ -174,7 +183,7 @@ impl Network {
                 active: VecDeque::new(),
                 busy: false,
                 credits: vec![buffer_per_class; n_tc],
-                in_flight: std::collections::HashMap::new(),
+                in_flight: InFlightMap::new(),
                 cc: CcEngine::from_config(&cfg.cc),
                 rate_bps: inj_bps,
                 prop: SimDuration::from_ns_f64(
@@ -198,6 +207,7 @@ impl Network {
             packet_latency: None,
             n_tc,
             stats: NetStats::default(),
+            kernel: KernelStats::default(),
         }
     }
 
@@ -224,6 +234,12 @@ impl Network {
     /// Aggregate statistics.
     pub fn stats(&self) -> NetStats {
         self.stats
+    }
+
+    /// Kernel performance counters (events by type, routing decisions,
+    /// queue high-water mark) for this network.
+    pub fn kernel_stats(&self) -> KernelStats {
+        self.kernel
     }
 
     /// Total events processed.
@@ -333,6 +349,10 @@ impl Network {
 
     /// Process one event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
+        let pending = self.queue.len() as u64;
+        if pending > self.kernel.queue_hwm {
+            self.kernel.queue_hwm = pending;
+        }
         let Some((now, ev)) = self.queue.pop() else {
             return false;
         };
@@ -374,17 +394,35 @@ impl Network {
 
     fn dispatch(&mut self, now: SimTime, ev: Event) {
         match ev {
-            Event::NicTxDone { node, pkt } => self.nic_tx_done(node, pkt, now),
-            Event::ArriveSwitch { sw, pkt } => self.arrive_switch(sw, pkt, now),
-            Event::EnqueueOut { sw, port, pkt } => self.enqueue_out(sw, port, pkt, now),
-            Event::TxDone { sw, port, pkt } => self.tx_done(sw, port, pkt, now),
+            Event::NicTxDone { node, pkt } => {
+                self.kernel.events_nic_tx += 1;
+                self.nic_tx_done(node, pkt, now)
+            }
+            Event::ArriveSwitch { sw, pkt } => {
+                self.kernel.events_arrive_switch += 1;
+                self.arrive_switch(sw, pkt, now)
+            }
+            Event::EnqueueOut { sw, port, pkt } => {
+                self.kernel.events_enqueue_out += 1;
+                self.enqueue_out(sw, port, pkt, now)
+            }
+            Event::TxDone { sw, port, pkt } => {
+                self.kernel.events_tx_done += 1;
+                self.tx_done(sw, port, pkt, now)
+            }
             Event::CreditReturn {
                 target,
                 tc,
                 vc,
                 bytes,
-            } => self.credit_return(target, tc, vc, bytes, now),
-            Event::ArriveNic { pkt } => self.arrive_nic(pkt, now),
+            } => {
+                self.kernel.events_credit += 1;
+                self.credit_return(target, tc, vc, bytes, now)
+            }
+            Event::ArriveNic { pkt } => {
+                self.kernel.events_arrive_nic += 1;
+                self.arrive_nic(pkt, now)
+            }
             Event::AckArrive {
                 src,
                 dst,
@@ -392,9 +430,16 @@ impl Network {
                 msg,
                 congested,
                 depth,
-            } => self.ack_arrive(src, dst, wire, msg, congested, depth, now),
-            Event::Loopback { msg } => self.loopback(msg, now),
+            } => {
+                self.kernel.events_ack += 1;
+                self.ack_arrive(src, dst, wire, msg, congested, depth, now)
+            }
+            Event::Loopback { msg } => {
+                self.kernel.events_loopback += 1;
+                self.loopback(msg, now)
+            }
             Event::Wakeup { token } => {
+                self.kernel.events_wakeup += 1;
                 self.notifications
                     .push(Notification::Wakeup { token, at: now });
             }
@@ -474,10 +519,15 @@ impl Network {
             let dst_sw = self.topo.switch_of_node(pkt.dst);
             pkt.route = router.decide(cur, dst_sw, &view, &mut self.rng);
             pkt.routed = true;
+            self.kernel.routing_decisions += 1;
             if pkt.route.is_nonminimal() {
                 self.stats.nonminimal_packets += 1;
+                self.kernel.adaptive_nonminimal += 1;
+            } else {
+                self.kernel.adaptive_minimal += 1;
             }
         }
+        self.kernel.next_hop_lookups += 1;
         let choice = router.next_channel(cur, &mut pkt.route, &view, &mut self.rng);
         let (port_sw, port_idx) = match choice {
             Some(ch) => self.chan_port[ch.index()],

@@ -2,11 +2,12 @@
 //! congestion-control engine.
 
 use crate::config::CcConfig;
+use crate::inflight::InFlightMap;
 use crate::packet::MessageId;
 use slingshot_congestion::{AckFeedback, CongestionControl, EcnCc, NoCc, SlingshotCc};
 use slingshot_des::{SimDuration, SimTime};
 use slingshot_topology::NodeId;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Static-dispatch wrapper over the congestion-control algorithms.
 pub enum CcEngine {
@@ -73,8 +74,9 @@ pub struct Nic {
     pub busy: bool,
     /// Per-class credits for the attached switch's ingress buffer.
     pub credits: Vec<u64>,
-    /// Unacknowledged wire bytes per destination node.
-    pub in_flight: HashMap<u32, u64>,
+    /// Unacknowledged wire bytes per destination node (open-addressing,
+    /// Fx-hashed — see [`InFlightMap`]).
+    pub in_flight: InFlightMap,
     /// Congestion control engine.
     pub cc: CcEngine,
     /// Injection rate, bytes per second.
@@ -90,26 +92,22 @@ impl Nic {
     }
 
     /// In-flight bytes toward `dst`.
+    #[inline]
     pub fn in_flight_to(&self, dst: NodeId) -> u64 {
-        self.in_flight.get(&dst.0).copied().unwrap_or(0)
+        self.in_flight.get(dst.0)
     }
 
     /// Account `wire` bytes launched toward `dst`.
+    #[inline]
     pub fn add_in_flight(&mut self, dst: NodeId, wire: u32) {
-        *self.in_flight.entry(dst.0).or_insert(0) += wire as u64;
+        self.in_flight.add(dst.0, wire as u64);
     }
 
-    /// Account `wire` bytes acknowledged from `dst`.
+    /// Account `wire` bytes acknowledged from `dst` (entry removed at
+    /// zero; panics on an ack for an unknown destination).
+    #[inline]
     pub fn sub_in_flight(&mut self, dst: NodeId, wire: u32) {
-        let e = self
-            .in_flight
-            .get_mut(&dst.0)
-            .expect("ack for unknown destination");
-        debug_assert!(*e >= wire as u64, "in-flight underflow");
-        *e -= wire as u64;
-        if *e == 0 {
-            self.in_flight.remove(&dst.0);
-        }
+        self.in_flight.sub(dst.0, wire as u64);
     }
 }
 
@@ -124,7 +122,7 @@ mod tests {
             active: VecDeque::new(),
             busy: false,
             credits: vec![256 << 10],
-            in_flight: HashMap::new(),
+            in_flight: InFlightMap::new(),
             cc: CcEngine::from_config(&cc),
             rate_bps: 12.5e9,
             prop: SimDuration::from_ns(10),

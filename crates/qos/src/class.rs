@@ -1,6 +1,7 @@
 //! Traffic-class definitions and DSCP mapping.
 
 use serde::Serialize;
+use std::sync::Arc;
 
 /// Index of the default traffic class (unclassified traffic).
 pub const DEFAULT_TC: usize = 0;
@@ -67,9 +68,15 @@ impl TrafficClass {
 }
 
 /// Validated set of traffic classes for a network.
+///
+/// Internally `Arc`-backed: a network builds one scheduler per output
+/// port per switch, and every scheduler holds the class table — with a
+/// plain `Vec` that deep-cloned the table thousands of times at network
+/// construction. Cloning a set now only bumps a reference count; the
+/// class data itself is immutable after validation, so sharing is safe.
 #[derive(Clone, Debug, Serialize)]
 pub struct TrafficClassSet {
-    classes: Vec<TrafficClass>,
+    classes: Arc<[TrafficClass]>,
 }
 
 /// Configuration errors.
@@ -134,13 +141,15 @@ impl TrafficClassSet {
             }
             seen[d] = true;
         }
-        Ok(TrafficClassSet { classes })
+        Ok(TrafficClassSet {
+            classes: classes.into(),
+        })
     }
 
     /// A single permissive class (networks that do not exercise QoS).
     pub fn single() -> Self {
         TrafficClassSet {
-            classes: vec![TrafficClass::best_effort(0)],
+            classes: Arc::from([TrafficClass::best_effort(0)]),
         }
     }
 
@@ -157,6 +166,11 @@ impl TrafficClassSet {
     /// The classes.
     pub fn classes(&self) -> &[TrafficClass] {
         &self.classes
+    }
+
+    /// The shared backing storage (clones are reference-count bumps).
+    pub fn shared(&self) -> Arc<[TrafficClass]> {
+        Arc::clone(&self.classes)
     }
 
     /// Number of classes.
@@ -181,6 +195,16 @@ impl TrafficClassSet {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn clones_share_backing_storage() {
+        let set = TrafficClassSet::fig14();
+        let clone = set.clone();
+        assert!(
+            Arc::ptr_eq(&set.shared(), &clone.shared()),
+            "clone must be a reference-count bump, not a deep copy"
+        );
+    }
 
     #[test]
     fn valid_set_builds() {

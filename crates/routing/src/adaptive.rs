@@ -122,7 +122,7 @@ impl<'a> Router<'a> {
             debug_assert_eq!(cur, state.dst, "stuck packet away from destination");
             return None;
         }
-        Some(self.least_loaded(&candidates, view, rng))
+        Some(self.least_loaded(candidates, view, rng))
     }
 
     /// Pick the least-loaded channel, breaking ties uniformly at random.
@@ -165,7 +165,7 @@ impl<'a> Router<'a> {
         let minimal_hops = self.topo.min_hops(src, dst) as u64;
         let min_first_hops = self.topo.next_hops_toward_switch(src, dst);
         let min_cost = self
-            .sample_costs(&min_first_hops, self.params.minimal_candidates, view, rng)
+            .sample_costs(min_first_hops, self.params.minimal_candidates, view, rng)
             .map(|load| load + minimal_hops * self.params.hop_cost_bytes);
 
         let mut best_detour: Option<(f64, Via)> = None;
@@ -178,7 +178,7 @@ impl<'a> Router<'a> {
                 Via::Switch(sw) => self.topo.next_hops_toward_switch(src, sw),
                 Via::Direct => continue,
             };
-            let Some(load) = self.sample_costs(&first_hops, 1, view, rng) else {
+            let Some(load) = self.sample_costs(first_hops, 1, view, rng) else {
                 continue;
             };
             let detour_hops = minimal_hops + 2; // detours add ~2 hops

@@ -177,12 +177,53 @@ impl DragonflyParams {
     }
 }
 
+/// One neighbor entry in the dense adjacency index: the peer switch and
+/// the range of parallel channels toward it inside `adj_channels`.
+#[derive(Clone, Copy, Debug)]
+struct AdjEntry {
+    to: SwitchId,
+    start: u32,
+    end: u32,
+}
+
 /// A fully built dragonfly topology with channel-level adjacency.
+///
+/// ## Precomputed route tables
+///
+/// Construction materializes every routing query the simulator's hot path
+/// issues into flat CSR-style arrays, so the per-packet-per-hop calls
+/// ([`Dragonfly::channels_between`], [`Dragonfly::next_hops_toward_switch`],
+/// [`Dragonfly::next_hops_toward_group`], [`Dragonfly::min_hops`]) are
+/// zero-allocation, zero-hash slice returns or arithmetic:
+///
+/// * **adjacency CSR** — per-switch neighbor lists (sorted by peer id, each
+///   pointing at its contiguous run of parallel channels) replace the
+///   `HashMap<(SwitchId, SwitchId), Vec<ChannelId>>` of the naive builder;
+///   a switch has at most `radix` neighbors, so a binary search over its
+///   row beats a SipHash lookup by a wide margin.
+/// * **toward-group CSR** — the full `(switch, destination-group)`
+///   candidate table. Inter-group minimal *and* Valiant queries collapse
+///   onto this one table because a minimal route toward a switch in
+///   another group starts exactly like a route toward that group.
+///
+/// The candidate order inside every slice is byte-identical to what the
+/// legacy on-the-fly computation produced (the tables are *built from* it,
+/// and `debug_assert`s re-verify on construction), so routing behaviour —
+/// including RNG-driven tie-breaks — is unchanged.
 pub struct Dragonfly {
     params: DragonflyParams,
     channels: Vec<Channel>,
-    /// Direct channels between a pair of switches.
-    between: HashMap<(SwitchId, SwitchId), Vec<ChannelId>>,
+    /// Adjacency CSR: neighbors of switch `s` are
+    /// `adj[adj_off[s]..adj_off[s+1]]`, sorted by peer id.
+    adj_off: Vec<u32>,
+    adj: Vec<AdjEntry>,
+    /// Channel ids backing the adjacency entries (parallel cables
+    /// contiguous, in construction order).
+    adj_channels: Vec<ChannelId>,
+    /// Toward-group CSR: candidates for `(switch s, group t)` are
+    /// `toward[toward_off[s·g + t]..toward_off[s·g + t + 1]]`.
+    toward_off: Vec<u32>,
+    toward: Vec<ChannelId>,
     /// `global_by_group[switch][group]` → this switch's global channels into
     /// that group.
     global_by_group: Vec<Vec<Vec<ChannelId>>>,
@@ -270,12 +311,98 @@ impl Dragonfly {
             }
         }
 
-        Dragonfly {
+        // ---- Adjacency CSR (replaces the `between` hash map) ----
+        // Neighbor rows sorted by peer id; each row's parallel channels
+        // keep their construction order so candidate slices are identical
+        // to what the hash-map lookup returned.
+        let mut adj_off = Vec::with_capacity(s_total + 1);
+        let mut adj: Vec<AdjEntry> = Vec::new();
+        let mut adj_channels: Vec<ChannelId> = Vec::new();
+        adj_off.push(0u32);
+        for from in 0..s_total as u32 {
+            let mut peers: Vec<SwitchId> = between
+                .keys()
+                .filter(|(f, _)| f.0 == from)
+                .map(|&(_, t)| t)
+                .collect();
+            peers.sort_unstable();
+            for to in peers {
+                let chans = &between[&(SwitchId(from), to)];
+                let start = adj_channels.len() as u32;
+                adj_channels.extend_from_slice(chans);
+                adj.push(AdjEntry {
+                    to,
+                    start,
+                    end: adj_channels.len() as u32,
+                });
+            }
+            adj_off.push(adj.len() as u32);
+        }
+
+        let mut topo = Dragonfly {
             params,
             channels,
-            between,
+            adj_off,
+            adj,
+            adj_channels,
+            toward_off: Vec::new(),
+            toward: Vec::new(),
             global_by_group,
             gateways,
+        };
+
+        // ---- Toward-group CSR ----
+        // Built by running the reference computation once per (switch,
+        // group) pair; the hot-path accessors then only slice into it.
+        let mut toward_off = Vec::with_capacity(s_total * g as usize + 1);
+        let mut toward: Vec<ChannelId> = Vec::new();
+        toward_off.push(0u32);
+        for sw in 0..s_total as u32 {
+            for grp in 0..g {
+                toward.extend_from_slice(
+                    &topo.uncached_next_hops_toward_group(SwitchId(sw), GroupId(grp)),
+                );
+                toward_off.push(toward.len() as u32);
+            }
+        }
+        topo.toward_off = toward_off;
+        topo.toward = toward;
+
+        #[cfg(debug_assertions)]
+        topo.verify_route_tables();
+
+        topo
+    }
+
+    /// Cross-check every precomputed table entry against the legacy
+    /// on-the-fly computation (debug builds only; skipped for very large
+    /// systems to keep debug construction fast).
+    #[cfg(debug_assertions)]
+    fn verify_route_tables(&self) {
+        let s = self.switch_count();
+        if s > 256 {
+            return;
+        }
+        for cur in (0..s).map(SwitchId) {
+            for dst in (0..s).map(SwitchId) {
+                debug_assert_eq!(
+                    self.next_hops_toward_switch(cur, dst),
+                    self.uncached_next_hops_toward_switch(cur, dst).as_slice(),
+                    "toward-switch table mismatch at {cur:?}->{dst:?}"
+                );
+                debug_assert_eq!(
+                    self.min_hops(cur, dst),
+                    self.bfs_min_hops(cur, dst),
+                    "min-hops closed form mismatch at {cur:?}->{dst:?}"
+                );
+            }
+            for grp in (0..self.params.groups).map(GroupId) {
+                debug_assert_eq!(
+                    self.next_hops_toward_group(cur, grp),
+                    self.uncached_next_hops_toward_group(cur, grp).as_slice(),
+                    "toward-group table mismatch at {cur:?}->{grp:?}"
+                );
+            }
         }
     }
 
@@ -335,11 +462,17 @@ impl Dragonfly {
     }
 
     /// Direct channels from `from` to `to` (parallel cables included).
+    ///
+    /// Zero-hash: a binary search over `from`'s dense neighbor row (at
+    /// most `radix` entries) instead of a SipHash map lookup.
     pub fn channels_between(&self, from: SwitchId, to: SwitchId) -> &[ChannelId] {
-        self.between
-            .get(&(from, to))
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        let lo = self.adj_off[from.index()] as usize;
+        let hi = self.adj_off[from.index() + 1] as usize;
+        let row = &self.adj[lo..hi];
+        match row.binary_search_by_key(&to, |e| e.to) {
+            Ok(i) => &self.adj_channels[row[i].start as usize..row[i].end as usize],
+            Err(_) => &[],
+        }
     }
 
     /// Global channels owned by `sw` into `group`.
@@ -352,10 +485,49 @@ impl Dragonfly {
         &self.gateways[from.index()][to.index()]
     }
 
+    /// The precomputed toward-group candidate slice for `(sw, grp)`.
+    #[inline]
+    fn toward_group_slice(&self, sw: SwitchId, grp: GroupId) -> &[ChannelId] {
+        let i = sw.index() * self.params.groups as usize + grp.index();
+        &self.toward[self.toward_off[i] as usize..self.toward_off[i + 1] as usize]
+    }
+
     /// Channels from `cur` that make minimal progress toward `dst`.
     ///
-    /// Returns an empty vector when `cur == dst` (deliver locally).
-    pub fn next_hops_toward_switch(&self, cur: SwitchId, dst: SwitchId) -> Vec<ChannelId> {
+    /// Returns an empty slice when `cur == dst` (deliver locally).
+    /// Zero-allocation: serves from the tables precomputed at
+    /// construction.
+    pub fn next_hops_toward_switch(&self, cur: SwitchId, dst: SwitchId) -> &[ChannelId] {
+        if cur == dst {
+            return &[];
+        }
+        let dst_grp = self.group_of(dst);
+        if self.group_of(cur) == dst_grp {
+            // Intra-group: the full mesh makes the direct channels the
+            // unique minimal hop.
+            return self.channels_between(cur, dst);
+        }
+        // Inter-group: a minimal route toward a switch of another group
+        // starts exactly like a route toward that group.
+        self.toward_group_slice(cur, dst_grp)
+    }
+
+    /// Channels from `cur` that make progress toward any switch of `group`
+    /// (used for the Valiant phase of non-minimal routing). Empty when `cur`
+    /// is already in `group`. Zero-allocation slice return.
+    pub fn next_hops_toward_group(&self, cur: SwitchId, group: GroupId) -> &[ChannelId] {
+        if self.group_of(cur) == group {
+            return &[];
+        }
+        self.toward_group_slice(cur, group)
+    }
+
+    /// Reference implementation of [`Self::next_hops_toward_switch`]: the
+    /// legacy per-call computation the precomputed tables must match
+    /// element for element. Kept for construction-time `debug_assert`s and
+    /// the property tests; allocates, so not for hot paths.
+    #[doc(hidden)]
+    pub fn uncached_next_hops_toward_switch(&self, cur: SwitchId, dst: SwitchId) -> Vec<ChannelId> {
         if cur == dst {
             return Vec::new();
         }
@@ -364,33 +536,23 @@ impl Dragonfly {
         if cur_grp == dst_grp {
             return self.channels_between(cur, dst).to_vec();
         }
-        // Direct global channels into the destination group win.
-        let direct = self.global_channels(cur, dst_grp);
-        if !direct.is_empty() {
-            return direct.to_vec();
-        }
-        // Otherwise hop to an in-group gateway.
-        let mut out = Vec::new();
-        for &gw in self.gateways(cur_grp, dst_grp) {
-            if gw != cur {
-                out.extend_from_slice(self.channels_between(cur, gw));
-            }
-        }
-        out
+        self.uncached_next_hops_toward_group(cur, dst_grp)
     }
 
-    /// Channels from `cur` that make progress toward any switch of `group`
-    /// (used for the Valiant phase of non-minimal routing). Empty when `cur`
-    /// is already in `group`.
-    pub fn next_hops_toward_group(&self, cur: SwitchId, group: GroupId) -> Vec<ChannelId> {
+    /// Reference implementation of [`Self::next_hops_toward_group`] (see
+    /// [`Self::uncached_next_hops_toward_switch`]).
+    #[doc(hidden)]
+    pub fn uncached_next_hops_toward_group(&self, cur: SwitchId, group: GroupId) -> Vec<ChannelId> {
         let cur_grp = self.group_of(cur);
         if cur_grp == group {
             return Vec::new();
         }
+        // Direct global channels into the destination group win.
         let direct = self.global_channels(cur, group);
         if !direct.is_empty() {
             return direct.to_vec();
         }
+        // Otherwise hop to an in-group gateway.
         let mut out = Vec::new();
         for &gw in self.gateways(cur_grp, group) {
             if gw != cur {
@@ -400,9 +562,44 @@ impl Dragonfly {
         out
     }
 
-    /// Minimal switch-to-switch hop count between two switches (BFS,
-    /// bounded by the diameter).
+    /// Minimal switch-to-switch hop count between two switches.
+    ///
+    /// Closed form over the dragonfly route structure — no BFS, no
+    /// allocation: intra-group pairs are 1 hop (full mesh); inter-group
+    /// pairs take the best of `[local] + global + [local]` over the
+    /// available gateways/landing switches.
     pub fn min_hops(&self, src: SwitchId, dst: SwitchId) -> u32 {
+        if src == dst {
+            return 0;
+        }
+        let src_grp = self.group_of(src);
+        let dst_grp = self.group_of(dst);
+        if src_grp == dst_grp {
+            return 1;
+        }
+        let mut best = 4u32;
+        // Direct global channels from src into the destination group.
+        for &ch in self.global_channels(src, dst_grp) {
+            best = best.min(if self.channel(ch).to == dst { 1 } else { 2 });
+        }
+        // One local hop to an in-group gateway, then its global channels.
+        for &gw in self.gateways(src_grp, dst_grp) {
+            if gw == src {
+                continue;
+            }
+            for &ch in self.global_channels(gw, dst_grp) {
+                best = best.min(if self.channel(ch).to == dst { 2 } else { 3 });
+            }
+        }
+        debug_assert!(best <= 3, "dragonfly diameter exceeded — malformed");
+        best
+    }
+
+    /// Reference BFS distance over the minimal-route structure; the closed
+    /// form of [`Self::min_hops`] must agree with it everywhere. Kept for
+    /// construction-time `debug_assert`s and the property tests.
+    #[doc(hidden)]
+    pub fn bfs_min_hops(&self, src: SwitchId, dst: SwitchId) -> u32 {
         if src == dst {
             return 0;
         }
@@ -412,7 +609,7 @@ impl Dragonfly {
         for depth in 1..=4 {
             let mut next = Vec::new();
             for &sw in &frontier {
-                for hop in self.next_hops_toward_switch(sw, dst) {
+                for &hop in self.next_hops_toward_switch(sw, dst) {
                     let to = self.channel(hop).to;
                     if to == dst {
                         return depth;
@@ -631,7 +828,7 @@ mod tests {
                 // distance. Candidates may tie when different gateways land
                 // at different distances from the target.
                 let mut improved = false;
-                for h in hops {
+                for &h in hops {
                     let next = d.channel(h).to;
                     let nd = d.min_hops(next, t);
                     assert!(
@@ -658,8 +855,8 @@ mod tests {
                 } else {
                     assert!(!hops.is_empty());
                     // At most 2 hops to reach the group.
-                    for h in &hops {
-                        let next = d.channel(*h).to;
+                    for &h in hops {
+                        let next = d.channel(h).to;
                         assert!(
                             d.group_of(next) == g || !d.global_channels(next, g).is_empty(),
                             "hop does not approach group"

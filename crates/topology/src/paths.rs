@@ -46,7 +46,7 @@ impl Dragonfly {
         if remaining == 0 {
             return;
         }
-        for ch in self.next_hops_toward_switch(cur, dst) {
+        for &ch in self.next_hops_toward_switch(cur, dst) {
             let next = self.channel(ch).to;
             // Only continue along hops that can still finish in time.
             if (self.min_hops(next, dst) as usize) < remaining {

@@ -127,4 +127,38 @@ proptest! {
         }
         prop_assert!(hops <= 3);
     }
+
+    /// The precomputed CSR route tables are element-for-element identical
+    /// to the per-call computation they replaced, for every (cur, dst)
+    /// pair — same candidates, same order, so adaptive tie-breaking draws
+    /// the same RNG sequence as before the substitution.
+    #[test]
+    fn precomputed_tables_match_per_call_routing(params in arb_params()) {
+        let d = params.build();
+        let n = d.switch_count();
+        for cur in 0..n {
+            let cur = SwitchId(cur);
+            for dst in 0..n {
+                let dst = SwitchId(dst);
+                prop_assert_eq!(
+                    d.next_hops_toward_switch(cur, dst),
+                    d.uncached_next_hops_toward_switch(cur, dst).as_slice(),
+                    "toward-switch candidates diverge at {:?}->{:?}", cur, dst
+                );
+                prop_assert_eq!(
+                    d.min_hops(cur, dst),
+                    d.bfs_min_hops(cur, dst),
+                    "closed-form distance diverges at {:?}->{:?}", cur, dst
+                );
+            }
+            for grp in 0..params.groups {
+                let grp = GroupId(grp);
+                prop_assert_eq!(
+                    d.next_hops_toward_group(cur, grp),
+                    d.uncached_next_hops_toward_group(cur, grp).as_slice(),
+                    "toward-group candidates diverge at {:?}->{:?}", cur, grp
+                );
+            }
+        }
+    }
 }

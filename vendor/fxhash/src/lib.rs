@@ -1,0 +1,148 @@
+//! Offline stand-in for `fxhash`: the non-cryptographic multiply-based
+//! hash rustc uses internally, exposed with the upstream crate's API
+//! subset this workspace needs.
+//!
+//! SipHash — the `std::collections::HashMap` default — is keyed and
+//! DoS-resistant but costs tens of cycles per lookup. Simulator state keyed
+//! by small trusted integer ids (node ids, flow ids) doesn't need that
+//! resistance; Fx hashing is a single rotate/xor/multiply per word, and its
+//! output is fully deterministic across processes (no per-process
+//! `RandomState` seed), which also makes map iteration order reproducible.
+
+#![warn(missing_docs)]
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Knuth/Fibonacci multiplicative constant (2^64 / φ), the rustc `K`.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+/// Build-hasher for [`FxHasher`] (stateless, default-constructed).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// The rustc Fx hasher: rotate-xor-multiply over 8-byte words.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// Hash one 64-bit word (Fibonacci multiplicative mix). The high bits carry
+/// the entropy — consumers indexing a power-of-two table should shift the
+/// result down (`hash64(k) >> (64 - log2(capacity))`), not mask the low
+/// bits.
+#[inline]
+pub fn hash64(word: u64) -> u64 {
+    word.wrapping_mul(SEED)
+        .rotate_left(ROTATE)
+        .wrapping_mul(SEED)
+}
+
+/// Hash an arbitrary `Hash` value with [`FxHasher`].
+pub fn hash<T: std::hash::Hash + ?Sized>(v: &T) -> u64 {
+    let mut h = FxHasher::default();
+    v.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_hashers() {
+        assert_eq!(hash(&42u32), hash(&42u32));
+        assert_eq!(hash64(7), hash64(7));
+        assert_ne!(hash64(7), hash64(8));
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<u32, u64> = FxHashMap::default();
+        m.insert(3, 30);
+        assert_eq!(m.get(&3), Some(&30));
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        assert!(s.insert(9));
+        assert!(s.contains(&9));
+    }
+
+    #[test]
+    fn sequential_keys_spread_in_high_bits() {
+        // Fibonacci hashing: adjacent keys must land far apart in the top
+        // bits (the failure mode of masking the low bits of k * odd).
+        let idx = |k: u64| (hash64(k) >> 56) as usize;
+        let mut hits = [0u32; 256];
+        for k in 0..256u64 {
+            hits[idx(k)] += 1;
+        }
+        let max = *hits.iter().max().expect("non-empty");
+        assert!(max <= 8, "top-byte clustering: {max} of 256 in one bucket");
+    }
+
+    #[test]
+    fn mixed_width_writes() {
+        let mut h = FxHasher::default();
+        h.write(b"slingshot interconnect");
+        let a = h.finish();
+        let mut h2 = FxHasher::default();
+        h2.write(b"slingshot interconnect");
+        assert_eq!(a, h2.finish());
+    }
+}
