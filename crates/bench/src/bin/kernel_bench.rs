@@ -15,7 +15,7 @@ use serde::Serialize;
 use slingshot::des::{DetRng, EventQueue, SimTime};
 use slingshot::network::InFlightMap;
 use slingshot::routing::{AdaptiveParams, QuietView, Router, RoutingAlgorithm};
-use slingshot::topology::{shandy, NodeId, SwitchId};
+use slingshot::topology::{shandy, ChannelId, Liveness, NodeId, SwitchId};
 use slingshot::{Profile, System, SystemBuilder};
 use std::alloc::{GlobalAlloc, Layout, System as SystemAlloc};
 use std::hint::black_box;
@@ -192,6 +192,28 @@ fn main() {
             let s = SwitchId(rng.below(switches) as u32);
             let d = SwitchId(rng.below(switches) as u32);
             black_box(router.decide(s, d, &QuietView, &mut rng));
+        },
+    ));
+
+    // Liveness-mask consultation on the routing fast path, measured in the
+    // degraded state (some entries down) so the per-candidate bit tests run
+    // rather than the all-up early-out.
+    let channels = topo.channels().len() as u64;
+    let mut live = Liveness::for_topology(&topo);
+    let mut rng = DetRng::seed_from(5);
+    for _ in 0..8 {
+        live.set_channel(ChannelId(rng.below(channels) as u32), false);
+    }
+    for _ in 0..2 {
+        live.set_switch(SwitchId(rng.below(switches) as u32), false);
+    }
+    benches.push(bench(
+        "liveness_channel_usable_shandy",
+        200_000 * scale,
+        true,
+        || {
+            let ch = ChannelId(rng.below(channels) as u32);
+            black_box(live.channel_usable(&topo, ch));
         },
     ));
 

@@ -26,6 +26,7 @@ pub mod fig6;
 pub mod fig8;
 pub mod fig9;
 pub mod report;
+pub mod resilience;
 pub mod runner;
 pub mod scale;
 

@@ -139,10 +139,17 @@ pub fn print_kernel_stats() {
     eprintln!("    ack                  {:>16}", k.events_ack);
     eprintln!("    loopback             {:>16}", k.events_loopback);
     eprintln!("    wakeup               {:>16}", k.events_wakeup);
+    eprintln!("    fault                {:>16}", k.events_fault);
+    eprintln!("    e2e-timeout          {:>16}", k.events_e2e_timeout);
     eprintln!("  routing decisions      {:>16}", k.routing_decisions);
     eprintln!("    minimal              {:>16}", k.adaptive_minimal);
     eprintln!("    non-minimal          {:>16}", k.adaptive_nonminimal);
     eprintln!("  next-hop lookups       {:>16}", k.next_hop_lookups);
+    eprintln!("  route heals            {:>16}", k.route_heals);
+    eprintln!("  llr replays            {:>16}", k.llr_replays);
+    eprintln!("  llr escalations        {:>16}", k.llr_escalations);
+    eprintln!("  e2e retransmits        {:>16}", k.e2e_retransmits);
+    eprintln!("  packets dropped        {:>16}", k.packets_dropped);
     eprintln!("  event-queue high water {:>16}", k.queue_hwm);
 }
 

@@ -3,10 +3,15 @@
 //! the same seed are bit-identical too. Serialized JSON is the equality
 //! witness — it is exactly what the binaries write under `results/`.
 
-use slingshot_experiments::{fig5, runner, Scale};
+use slingshot_experiments::{fig5, resilience, runner, Scale};
 
 fn fig5_json(jobs: usize) -> String {
     let rows = runner::with_jobs(jobs, || fig5::run(Scale::Tiny));
+    serde_json::to_string(&rows).expect("serialize rows")
+}
+
+fn resilience_json(jobs: usize) -> String {
+    let rows = runner::with_jobs(jobs, || resilience::run(Scale::Tiny));
     serde_json::to_string(&rows).expect("serialize rows")
 }
 
@@ -23,4 +28,14 @@ fn figure_rows_identical_at_any_thread_count() {
 #[test]
 fn same_seed_repeats_are_bit_identical() {
     assert_eq!(fig5_json(4), fig5_json(4));
+}
+
+#[test]
+fn resilience_rows_identical_at_any_thread_count() {
+    let serial = resilience_json(1);
+    let parallel = resilience_json(4);
+    assert_eq!(
+        serial, parallel,
+        "fault-injection rows differ between --jobs 1 and --jobs 4"
+    );
 }

@@ -60,6 +60,11 @@ pub struct NetworkConfig {
     pub loopback_latency: SimDuration,
     /// RNG seed (routing tie-breaks, latency jitter).
     pub seed: u64,
+    /// Fault-injection scenario. `None` — or a config whose schedule is
+    /// empty — disables the fault machinery entirely: the simulation takes
+    /// the exact fault-free code path (same events, same RNG draws,
+    /// byte-identical results).
+    pub faults: Option<slingshot_faults::FaultConfig>,
 }
 
 impl NetworkConfig {
@@ -83,6 +88,7 @@ impl NetworkConfig {
             ack_overhead: SimDuration::from_ns(200),
             loopback_latency: SimDuration::from_ns(400),
             seed: 0xC0FFEE,
+            faults: None,
         }
     }
 
@@ -107,6 +113,7 @@ impl NetworkConfig {
             ack_overhead: SimDuration::from_ns(300),
             loopback_latency: SimDuration::from_ns(600),
             seed: 0xC0FFEE,
+            faults: None,
         }
     }
 

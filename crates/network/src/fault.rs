@@ -1,0 +1,214 @@
+//! Live fault state inside the simulator: liveness, lane health, transient
+//! error bursts, the end-to-end retry table, and copy-conservation
+//! accounting.
+//!
+//! The runtime exists only when a non-empty [`slingshot_faults::FaultSchedule`]
+//! is installed; a `Network` without one carries `None` and every fault
+//! check stays behind a single `is_some()` branch, so fault-free
+//! simulations execute the exact historical code path (same events, same
+//! RNG draws, byte-identical results).
+
+use serde::Serialize;
+use slingshot_des::{DetRng, SimTime};
+use slingshot_ethernet::PortLanes;
+use slingshot_faults::{FaultConfig, FaultSchedule, RecoveryConfig};
+use slingshot_topology::{Dragonfly, Liveness};
+use std::collections::HashMap;
+
+/// Why a packet copy was destroyed in the fabric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DropReason {
+    /// Flushed from (or aimed at) a downed channel.
+    LinkDown,
+    /// Lost inside (or heading into) a downed switch.
+    SwitchDown,
+    /// Adaptive healing found no live candidate even after re-deciding the
+    /// route.
+    NoRoute,
+    /// LLR exhausted its replay budget; the link was declared bad and the
+    /// packet on it destroyed.
+    LlrExhausted,
+}
+
+/// Fault and recovery counters.
+///
+/// The central invariant is *copy conservation*: every packet copy handed
+/// to a NIC serializer is eventually accounted as delivered (unique or
+/// duplicate) or dropped with a reason — never silently lost. Verify it
+/// with [`FaultStats::conservation_holds`] (or
+/// `Network::assert_fault_conservation`) once the simulation quiesces.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct FaultStats {
+    /// Packet copies handed to NIC serializers (originals + retransmits).
+    pub copies_injected: u64,
+    /// Copies that delivered a chunk for the first time.
+    pub delivered_unique: u64,
+    /// Copies that arrived after their chunk had already been delivered
+    /// (the original's ack was lost or late); acked but not re-delivered.
+    pub delivered_duplicate: u64,
+    /// Copies destroyed by a downed link (queue flush or dead next hop).
+    pub dropped_link_down: u64,
+    /// Copies destroyed by a downed switch.
+    pub dropped_switch_down: u64,
+    /// Copies destroyed because healing found no live route.
+    pub dropped_no_route: u64,
+    /// Copies destroyed when LLR replays ran out.
+    pub dropped_llr_exhausted: u64,
+    /// Link-level replays performed (§II-F low-latency retransmission).
+    pub llr_replays: u64,
+    /// LLR retry budgets exhausted (each takes the link down).
+    pub llr_escalations: u64,
+    /// End-to-end retransmit timers that fired for a still-unacked copy.
+    pub e2e_timeouts: u64,
+    /// End-to-end retransmissions issued.
+    pub e2e_retransmits: u64,
+    /// Chunks abandoned after the retry budget (sender-visible loss).
+    pub e2e_giveups: u64,
+    /// Acks that arrived for a superseded or already-resolved copy.
+    pub stale_acks: u64,
+    /// Schedule entries applied.
+    pub faults_applied: u64,
+    /// Links that transitioned up → down (scheduled or LLR escalation).
+    pub link_down_events: u64,
+    /// Links that transitioned down → up.
+    pub link_up_events: u64,
+    /// Lane-failure events applied.
+    pub lane_degrade_events: u64,
+    /// Switches that transitioned up → down.
+    pub switch_down_events: u64,
+    /// Switches that transitioned down → up.
+    pub switch_up_events: u64,
+    /// Links auto-repaired after an LLR escalation (retrain finished).
+    pub auto_repairs: u64,
+}
+
+impl FaultStats {
+    /// Copies destroyed in the fabric, all reasons.
+    pub fn dropped_total(&self) -> u64 {
+        self.dropped_link_down
+            + self.dropped_switch_down
+            + self.dropped_no_route
+            + self.dropped_llr_exhausted
+    }
+
+    /// Copies whose fate is recorded (delivered or dropped).
+    pub fn accounted(&self) -> u64 {
+        self.delivered_unique + self.delivered_duplicate + self.dropped_total()
+    }
+
+    /// Injected copies not yet accounted for. Non-zero mid-flight; must be
+    /// zero once the simulation quiesces.
+    pub fn unaccounted(&self) -> i64 {
+        self.copies_injected as i64 - self.accounted() as i64
+    }
+
+    /// The conservation invariant: `injected == delivered + dropped`.
+    pub fn conservation_holds(&self) -> bool {
+        self.unaccounted() == 0
+    }
+}
+
+/// One chunk's outstanding end-to-end state at the sending NIC.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct RetryEntry {
+    /// Copy id of the transmission currently awaiting an ack.
+    pub copy: u32,
+    /// Retransmissions already issued for this chunk.
+    pub attempt: u32,
+}
+
+/// All live fault state of a running network.
+pub(crate) struct FaultRuntime {
+    /// The installed schedule (indexed by `Event::Fault`).
+    pub schedule: FaultSchedule,
+    /// Recovery-ladder tunables.
+    pub recovery: RecoveryConfig,
+    /// Which channels/switches are currently up.
+    pub liveness: Liveness,
+    /// Per-channel SerDes lane health.
+    pub lanes: Vec<PortLanes>,
+    /// Per-channel burst error rate (valid while `now < burst_until`).
+    pub burst_rate: Vec<f64>,
+    /// Per-channel burst expiry.
+    pub burst_until: Vec<SimTime>,
+    /// Outstanding end-to-end state per `(message, chunk)`.
+    pub retry: HashMap<(u64, u32), RetryEntry>,
+    /// Last copy id handed out (0 is reserved for "no fault mode").
+    pub next_copy: u32,
+    /// Fault-plane RNG (forked from the network seed; never touches the
+    /// main simulation stream).
+    pub rng: DetRng,
+    /// Counters.
+    pub stats: FaultStats,
+}
+
+impl FaultRuntime {
+    /// Build the runtime for `topo` from an (installed, non-empty) config.
+    pub fn new(cfg: &FaultConfig, topo: &Dragonfly, seed: u64) -> Self {
+        let n_ch = topo.channels().len();
+        FaultRuntime {
+            schedule: cfg.schedule.clone(),
+            recovery: cfg.recovery,
+            liveness: Liveness::for_topology(topo),
+            lanes: vec![PortLanes::rosetta(); n_ch],
+            burst_rate: vec![0.0; n_ch],
+            burst_until: vec![SimTime::ZERO; n_ch],
+            retry: HashMap::new(),
+            next_copy: 0,
+            rng: DetRng::seed_from(seed).fork(0xFA17),
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// Fresh copy id (monotonic, starting at 1).
+    pub fn alloc_copy(&mut self) -> u32 {
+        self.next_copy += 1;
+        self.next_copy
+    }
+
+    /// Per-traversal transient error probability on channel `ch` at `now`:
+    /// the base rate plus any active burst.
+    pub fn error_rate(&self, ch: usize, now: SimTime) -> f64 {
+        let base = self.recovery.reliability.transient_error_rate;
+        if now < self.burst_until[ch] {
+            base + self.burst_rate[ch]
+        } else {
+            base
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conservation_accounting() {
+        let mut s = FaultStats {
+            copies_injected: 10,
+            delivered_unique: 6,
+            delivered_duplicate: 1,
+            dropped_link_down: 2,
+            ..Default::default()
+        };
+        assert_eq!(s.dropped_total(), 2);
+        assert_eq!(s.unaccounted(), 1);
+        assert!(!s.conservation_holds());
+        s.dropped_no_route = 1;
+        assert!(s.conservation_holds());
+    }
+
+    #[test]
+    fn burst_raises_error_rate_until_expiry() {
+        let topo = slingshot_topology::tiny().build();
+        let cfg = FaultConfig::new(slingshot_faults::FaultSchedule::empty());
+        let mut rt = FaultRuntime::new(&cfg, &topo, 7);
+        let base = rt.recovery.reliability.transient_error_rate;
+        rt.burst_rate[0] = 0.25;
+        rt.burst_until[0] = SimTime::from_us(10);
+        assert!((rt.error_rate(0, SimTime::from_us(5)) - (base + 0.25)).abs() < 1e-12);
+        assert!((rt.error_rate(0, SimTime::from_us(10)) - base).abs() < 1e-12);
+        assert_eq!(rt.alloc_copy(), 1);
+        assert_eq!(rt.alloc_copy(), 2);
+    }
+}

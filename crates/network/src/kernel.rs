@@ -39,6 +39,10 @@ pub struct KernelStats {
     pub events_loopback: u64,
     /// User timer fired.
     pub events_wakeup: u64,
+    /// Fault-machinery events (schedule strikes and link retrains).
+    pub events_fault: u64,
+    /// NIC end-to-end retransmit timer fired.
+    pub events_e2e_timeout: u64,
     /// Source-switch routing decisions (one per packet).
     pub routing_decisions: u64,
     /// Adaptive decisions that picked the minimal path.
@@ -47,6 +51,16 @@ pub struct KernelStats {
     pub adaptive_nonminimal: u64,
     /// Per-hop output-channel selections.
     pub next_hop_lookups: u64,
+    /// Link-level replays performed (fault mode).
+    pub llr_replays: u64,
+    /// LLR retry budgets exhausted, link declared bad (fault mode).
+    pub llr_escalations: u64,
+    /// End-to-end retransmissions issued (fault mode).
+    pub e2e_retransmits: u64,
+    /// Packet copies destroyed in the fabric, all reasons (fault mode).
+    pub packets_dropped: u64,
+    /// Mid-path route re-decisions after every planned candidate died.
+    pub route_heals: u64,
     /// Highest pending-event population observed in the queue.
     pub queue_hwm: u64,
 }
@@ -63,6 +77,8 @@ impl KernelStats {
             + self.events_ack
             + self.events_loopback
             + self.events_wakeup
+            + self.events_fault
+            + self.events_e2e_timeout
     }
 }
 
@@ -77,10 +93,17 @@ struct GlobalKernelStats {
     events_ack: AtomicU64,
     events_loopback: AtomicU64,
     events_wakeup: AtomicU64,
+    events_fault: AtomicU64,
+    events_e2e_timeout: AtomicU64,
     routing_decisions: AtomicU64,
     adaptive_minimal: AtomicU64,
     adaptive_nonminimal: AtomicU64,
     next_hop_lookups: AtomicU64,
+    llr_replays: AtomicU64,
+    llr_escalations: AtomicU64,
+    e2e_retransmits: AtomicU64,
+    packets_dropped: AtomicU64,
+    route_heals: AtomicU64,
     queue_hwm: AtomicU64,
     networks: AtomicU64,
 }
@@ -95,10 +118,17 @@ static GLOBAL: GlobalKernelStats = GlobalKernelStats {
     events_ack: AtomicU64::new(0),
     events_loopback: AtomicU64::new(0),
     events_wakeup: AtomicU64::new(0),
+    events_fault: AtomicU64::new(0),
+    events_e2e_timeout: AtomicU64::new(0),
     routing_decisions: AtomicU64::new(0),
     adaptive_minimal: AtomicU64::new(0),
     adaptive_nonminimal: AtomicU64::new(0),
     next_hop_lookups: AtomicU64::new(0),
+    llr_replays: AtomicU64::new(0),
+    llr_escalations: AtomicU64::new(0),
+    e2e_retransmits: AtomicU64::new(0),
+    packets_dropped: AtomicU64::new(0),
+    route_heals: AtomicU64::new(0),
     queue_hwm: AtomicU64::new(0),
     networks: AtomicU64::new(0),
 };
@@ -124,6 +154,9 @@ pub(crate) fn flush_to_global(s: &KernelStats) {
         .fetch_add(s.events_loopback, Ordering::Relaxed);
     g.events_wakeup
         .fetch_add(s.events_wakeup, Ordering::Relaxed);
+    g.events_fault.fetch_add(s.events_fault, Ordering::Relaxed);
+    g.events_e2e_timeout
+        .fetch_add(s.events_e2e_timeout, Ordering::Relaxed);
     g.routing_decisions
         .fetch_add(s.routing_decisions, Ordering::Relaxed);
     g.adaptive_minimal
@@ -132,6 +165,14 @@ pub(crate) fn flush_to_global(s: &KernelStats) {
         .fetch_add(s.adaptive_nonminimal, Ordering::Relaxed);
     g.next_hop_lookups
         .fetch_add(s.next_hop_lookups, Ordering::Relaxed);
+    g.llr_replays.fetch_add(s.llr_replays, Ordering::Relaxed);
+    g.llr_escalations
+        .fetch_add(s.llr_escalations, Ordering::Relaxed);
+    g.e2e_retransmits
+        .fetch_add(s.e2e_retransmits, Ordering::Relaxed);
+    g.packets_dropped
+        .fetch_add(s.packets_dropped, Ordering::Relaxed);
+    g.route_heals.fetch_add(s.route_heals, Ordering::Relaxed);
     g.queue_hwm.fetch_max(s.queue_hwm, Ordering::Relaxed);
     g.networks.fetch_add(1, Ordering::Relaxed);
 }
@@ -154,10 +195,17 @@ pub fn global_kernel_stats() -> (KernelStats, u64) {
             events_ack: g.events_ack.load(Ordering::Relaxed),
             events_loopback: g.events_loopback.load(Ordering::Relaxed),
             events_wakeup: g.events_wakeup.load(Ordering::Relaxed),
+            events_fault: g.events_fault.load(Ordering::Relaxed),
+            events_e2e_timeout: g.events_e2e_timeout.load(Ordering::Relaxed),
             routing_decisions: g.routing_decisions.load(Ordering::Relaxed),
             adaptive_minimal: g.adaptive_minimal.load(Ordering::Relaxed),
             adaptive_nonminimal: g.adaptive_nonminimal.load(Ordering::Relaxed),
             next_hop_lookups: g.next_hop_lookups.load(Ordering::Relaxed),
+            llr_replays: g.llr_replays.load(Ordering::Relaxed),
+            llr_escalations: g.llr_escalations.load(Ordering::Relaxed),
+            e2e_retransmits: g.e2e_retransmits.load(Ordering::Relaxed),
+            packets_dropped: g.packets_dropped.load(Ordering::Relaxed),
+            route_heals: g.route_heals.load(Ordering::Relaxed),
             queue_hwm: g.queue_hwm.load(Ordering::Relaxed),
         },
         g.networks.load(Ordering::Relaxed),

@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 mod config;
+mod fault;
 mod inflight;
 mod kernel;
 mod network;
@@ -35,6 +36,7 @@ mod packet;
 mod switch;
 
 pub use config::{CcConfig, NetworkConfig};
+pub use fault::{DropReason, FaultStats};
 pub use inflight::InFlightMap;
 pub use kernel::{global_kernel_stats, KernelStats};
 pub use network::{NetStats, Network};

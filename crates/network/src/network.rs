@@ -1,6 +1,7 @@
 //! The assembled packet-level network simulator.
 
 use crate::config::NetworkConfig;
+use crate::fault::{DropReason, FaultRuntime, FaultStats, RetryEntry};
 use crate::inflight::InFlightMap;
 use crate::kernel::{flush_to_global, KernelStats};
 use crate::nic::{CcEngine, Nic};
@@ -8,10 +9,11 @@ use crate::packet::{InSource, MessageId, MessageState, Notification, Packet};
 use crate::switch::{vc_of, OutPort, PortKind, Switch, NUM_VCS};
 use slingshot_congestion::{AckFeedback, CongestionControl};
 use slingshot_des::{DetRng, EventQueue, SimDuration, SimTime};
-use slingshot_ethernet::{message_wire_bytes, MAX_PAYLOAD};
+use slingshot_ethernet::{message_wire_bytes, PortLanes, MAX_PAYLOAD};
+use slingshot_faults::FaultKind;
 use slingshot_qos::QosScheduler;
-use slingshot_routing::{CongestionView, RouteState, Router, Via};
-use slingshot_topology::{ChannelId, Dragonfly, NodeId};
+use slingshot_routing::{CongestionView, HopDecision, RouteState, Router, Via};
+use slingshot_topology::{ChannelId, Dragonfly, Liveness, NodeId, SwitchId};
 use std::collections::VecDeque;
 
 /// Simulator events.
@@ -41,6 +43,8 @@ enum Event {
         dst: u32,
         wire: u32,
         msg: MessageId,
+        chunk: u32,
+        copy: u32,
         congested: bool,
         depth: u64,
     },
@@ -48,7 +52,22 @@ enum Event {
     Loopback { msg: MessageId },
     /// A user timer fired.
     Wakeup { token: u64 },
+    /// A scheduled fault strikes (index into the installed schedule).
+    Fault { idx: u32 },
+    /// The NIC end-to-end retransmit timer for one packet copy fired.
+    E2eTimeout {
+        msg: MessageId,
+        chunk: u32,
+        copy: u32,
+    },
+    /// A link taken down by LLR escalation finished its retrain.
+    LinkRepair { ch: ChannelId },
 }
+
+/// Hop budget for route healing: a packet whose route has already grown
+/// this long is dropped instead of re-detoured (recovered end-to-end), so
+/// an unreachable destination cannot make copies wander forever.
+const MAX_HEAL_HOPS: u8 = 16;
 
 /// Where a returning credit is consumed.
 enum CreditTarget {
@@ -56,6 +75,18 @@ enum CreditTarget {
     Port { sw: u32, port: u32 },
     /// A NIC (sender side of an injection link).
     Nic(u32),
+}
+
+/// Outcome of the fault-mode checks at the head of `tx_done`.
+enum TxVerdict {
+    /// Healthy: proceed with the normal transmit completion.
+    Proceed,
+    /// A transient error hit and LLR replays the packet; the port stays
+    /// busy until the replayed `TxDone` fires.
+    Replayed,
+    /// The packet was destroyed (dead link/switch or LLR exhaustion); the
+    /// port was released and all credits returned.
+    Dropped,
 }
 
 /// Congestion view over the live port state (what the adaptive routing
@@ -73,7 +104,7 @@ impl CongestionView for LoadView<'_> {
 }
 
 /// Aggregate simulator statistics.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct NetStats {
     /// Packets delivered to endpoints.
     pub packets_delivered: u64,
@@ -108,6 +139,8 @@ pub struct Network {
     n_tc: usize,
     stats: NetStats,
     kernel: KernelStats,
+    /// Live fault state; `None` unless a non-empty schedule is installed.
+    faults: Option<FaultRuntime>,
 }
 
 impl Drop for Network {
@@ -189,13 +222,29 @@ impl Network {
                 prop: SimDuration::from_ns_f64(
                     slingshot_topology::LinkClass::EdgeCopper.propagation_ns(),
                 ),
+                retx: VecDeque::new(),
             })
             .collect();
+
+        // A scenario with an empty schedule is identical to no scenario:
+        // no runtime is built, no events are pushed, and the simulation is
+        // byte-for-byte the fault-free one.
+        let faults = cfg
+            .faults
+            .as_ref()
+            .filter(|fc| !fc.is_empty())
+            .map(|fc| FaultRuntime::new(fc, &topo, cfg.seed));
+        let mut queue = EventQueue::with_capacity(4096);
+        if let Some(rt) = &faults {
+            for (idx, ev) in rt.schedule.events().iter().enumerate() {
+                queue.push(ev.at, Event::Fault { idx: idx as u32 });
+            }
+        }
 
         Network {
             cfg,
             topo,
-            queue: EventQueue::with_capacity(4096),
+            queue,
             rng,
             switches,
             nics,
@@ -208,6 +257,7 @@ impl Network {
             n_tc,
             stats: NetStats::default(),
             kernel: KernelStats::default(),
+            faults,
         }
     }
 
@@ -240,6 +290,43 @@ impl Network {
     /// queue high-water mark) for this network.
     pub fn kernel_stats(&self) -> KernelStats {
         self.kernel
+    }
+
+    /// Fault and recovery counters; `None` unless a non-empty fault
+    /// schedule is installed.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.faults.as_ref().map(|rt| rt.stats)
+    }
+
+    /// Live link/switch liveness; `None` unless a non-empty fault schedule
+    /// is installed.
+    pub fn liveness(&self) -> Option<&Liveness> {
+        self.faults.as_ref().map(|rt| &rt.liveness)
+    }
+
+    /// Panic unless every injected packet copy is accounted for
+    /// (`injected == delivered + dropped-with-reason`) and no end-to-end
+    /// retry state is left dangling. Call after the simulation quiesces;
+    /// a no-op without an installed fault schedule.
+    pub fn assert_fault_conservation(&self) {
+        let Some(rt) = &self.faults else { return };
+        let s = rt.stats;
+        assert!(
+            s.conservation_holds(),
+            "packet-copy conservation violated: {} injected, {} delivered \
+             (unique {} + duplicate {}), {} dropped — {} unaccounted",
+            s.copies_injected,
+            s.delivered_unique + s.delivered_duplicate,
+            s.delivered_unique,
+            s.delivered_duplicate,
+            s.dropped_total(),
+            s.unaccounted(),
+        );
+        assert!(
+            rt.retry.is_empty(),
+            "{} chunks still have outstanding end-to-end retry state",
+            rt.retry.len()
+        );
     }
 
     /// Total events processed.
@@ -307,6 +394,14 @@ impl Network {
         } else {
             message_wire_bytes(bytes, self.cfg.frame, self.cfg.stack)
         };
+        // Receiver-side dedup bitmap, one bit per chunk (fault mode only;
+        // loopback messages never produce copies).
+        let delivered_chunks = if self.faults.is_some() && src != dst {
+            let n_chunks = bytes.div_ceil(MAX_PAYLOAD as u64);
+            vec![0u64; n_chunks.div_ceil(64) as usize]
+        } else {
+            Vec::new()
+        };
         self.messages.push(MessageState {
             src,
             dst,
@@ -318,6 +413,7 @@ impl Network {
             remaining_to_deliver: bytes,
             unacked_wire: unacked,
             fully_injected: src == dst,
+            delivered_chunks,
         });
         if src == dst {
             // Loopback: memory copy at injection rate plus a fixed cost.
@@ -428,11 +524,13 @@ impl Network {
                 dst,
                 wire,
                 msg,
+                chunk,
+                copy,
                 congested,
                 depth,
             } => {
                 self.kernel.events_ack += 1;
-                self.ack_arrive(src, dst, wire, msg, congested, depth, now)
+                self.ack_arrive(src, dst, wire, msg, chunk, copy, congested, depth, now)
             }
             Event::Loopback { msg } => {
                 self.kernel.events_loopback += 1;
@@ -443,11 +541,27 @@ impl Network {
                 self.notifications
                     .push(Notification::Wakeup { token, at: now });
             }
+            Event::Fault { idx } => {
+                self.kernel.events_fault += 1;
+                self.apply_fault(idx, now)
+            }
+            Event::E2eTimeout { msg, chunk, copy } => {
+                self.kernel.events_e2e_timeout += 1;
+                self.e2e_timeout(msg, chunk, copy, now)
+            }
+            Event::LinkRepair { ch } => {
+                self.kernel.events_fault += 1;
+                self.link_repair(ch, now)
+            }
         }
     }
 
     /// Try to launch the next eligible packet from `node`'s NIC.
     fn try_inject(&mut self, node: u32, now: SimTime) {
+        if self.faults.is_some() {
+            // Pending end-to-end retransmits launch ahead of new traffic.
+            self.try_inject_retx(node, now);
+        }
         let nic = &mut self.nics[node as usize];
         if nic.busy || nic.active.is_empty() {
             return;
@@ -457,6 +571,8 @@ impl Network {
             let st = &self.messages[msg_id.0 as usize];
             let payload = st.remaining_to_inject.min(MAX_PAYLOAD as u64) as u32;
             let wire = self.cfg.frame.wire_bytes(payload, self.cfg.stack);
+            // Chunks leave the NIC in offset order, MAX_PAYLOAD apart.
+            let chunk = ((st.bytes - st.remaining_to_inject) / MAX_PAYLOAD as u64) as u32;
             let dst = st.dst;
             let tc = st.tc;
             let in_flight = nic.in_flight_to(dst);
@@ -466,6 +582,7 @@ impl Network {
                 nic.busy = true;
                 nic.credits[tc as usize] -= wire as u64;
                 nic.add_in_flight(dst, wire);
+                let ser = nic.serialization(wire);
                 let st = &mut self.messages[msg_id.0 as usize];
                 st.remaining_to_inject -= payload as u64;
                 if st.remaining_to_inject == 0 {
@@ -474,7 +591,7 @@ impl Network {
                 } else {
                     nic.active.rotate_left(1);
                 }
-                let pkt = Packet {
+                let mut pkt = Packet {
                     msg: msg_id,
                     src: NodeId(node),
                     dst,
@@ -487,13 +604,66 @@ impl Network {
                     path_delay: SimDuration::ZERO,
                     ep_depth: 0,
                     born: now,
+                    chunk,
+                    copy: 0,
+                    llr: 0,
                 };
-                let ser = nic.serialization(wire);
+                if let Some(rt) = self.faults.as_mut() {
+                    let copy = rt.alloc_copy();
+                    pkt.copy = copy;
+                    rt.retry
+                        .insert((msg_id.0, chunk), RetryEntry { copy, attempt: 0 });
+                    rt.stats.copies_injected += 1;
+                    let deadline = now + ser + rt.recovery.e2e_timeout_for(0);
+                    self.queue.push(
+                        deadline,
+                        Event::E2eTimeout {
+                            msg: msg_id,
+                            chunk,
+                            copy,
+                        },
+                    );
+                }
                 self.queue.push(now + ser, Event::NicTxDone { node, pkt });
                 return;
             }
             nic.active.rotate_left(1);
         }
+    }
+
+    /// Launch the head of the NIC's retransmit queue if credits allow
+    /// (fault mode only). Retransmits bypass congestion control: they
+    /// re-send wire bytes the window already admitted once.
+    fn try_inject_retx(&mut self, node: u32, now: SimTime) {
+        let nic = &mut self.nics[node as usize];
+        if nic.busy {
+            return;
+        }
+        let Some(&pkt) = nic.retx.front() else { return };
+        if nic.credits[pkt.tc as usize] < pkt.wire as u64 {
+            return;
+        }
+        let mut pkt = nic.retx.pop_front().expect("checked non-empty");
+        pkt.born = now;
+        nic.busy = true;
+        nic.credits[pkt.tc as usize] -= pkt.wire as u64;
+        nic.add_in_flight(pkt.dst, pkt.wire);
+        let ser = nic.serialization(pkt.wire);
+        let rt = self.faults.as_mut().expect("retransmit outside fault mode");
+        rt.stats.copies_injected += 1;
+        let entry = rt.retry.get(&(pkt.msg.0, pkt.chunk));
+        debug_assert_eq!(entry.map(|e| e.copy), Some(pkt.copy), "stale retx copy");
+        let attempt = entry.map_or(0, |e| e.attempt);
+        let deadline = now + ser + rt.recovery.e2e_timeout_for(attempt);
+        self.queue.push(
+            deadline,
+            Event::E2eTimeout {
+                msg: pkt.msg,
+                chunk: pkt.chunk,
+                copy: pkt.copy,
+            },
+        );
+        self.queue.push(now + ser, Event::NicTxDone { node, pkt });
     }
 
     fn nic_tx_done(&mut self, node: u32, mut pkt: Packet, now: SimTime) {
@@ -507,14 +677,30 @@ impl Network {
     }
 
     fn arrive_switch(&mut self, sw: u32, mut pkt: Packet, now: SimTime) {
+        if let Some(rt) = &self.faults {
+            // A dead switch destroys everything arriving at it; the copy is
+            // recovered end-to-end.
+            if !rt.liveness.is_switch_up(SwitchId(sw)) {
+                self.record_drop(&pkt, DropReason::SwitchDown, now);
+                return;
+            }
+        }
         // Routing decisions read the live load view; split borrows keep the
         // router's view disjoint from the RNG and packet.
-        let router = Router::new(&self.topo, self.cfg.routing, self.cfg.adaptive);
+        let router = match &self.faults {
+            Some(rt) => Router::with_liveness(
+                &self.topo,
+                self.cfg.routing,
+                self.cfg.adaptive,
+                &rt.liveness,
+            ),
+            None => Router::new(&self.topo, self.cfg.routing, self.cfg.adaptive),
+        };
         let view = LoadView {
             switches: &self.switches,
             chan_port: &self.chan_port,
         };
-        let cur = slingshot_topology::SwitchId(sw);
+        let cur = SwitchId(sw);
         if !pkt.routed {
             let dst_sw = self.topo.switch_of_node(pkt.dst);
             pkt.route = router.decide(cur, dst_sw, &view, &mut self.rng);
@@ -528,10 +714,35 @@ impl Network {
             }
         }
         self.kernel.next_hop_lookups += 1;
-        let choice = router.next_channel(cur, &mut pkt.route, &view, &mut self.rng);
+        let mut choice = router.next_hop(cur, &mut pkt.route, &view, &mut self.rng);
+        if matches!(choice, HopDecision::Stuck) {
+            // Route healing: every live candidate of the planned route is
+            // gone — re-decide from here, keeping the accumulated hop count
+            // so VC assignment stays deadlock-safe. The hop budget bounds
+            // healing for an unreachable destination: without it a packet
+            // would detour forever (each detour's first leg is alive, only
+            // the final approach is dead).
+            if pkt.route.hops >= MAX_HEAL_HOPS {
+                self.record_drop(&pkt, DropReason::NoRoute, now);
+                return;
+            }
+            self.kernel.route_heals += 1;
+            let dst_sw = self.topo.switch_of_node(pkt.dst);
+            let hops = pkt.route.hops;
+            let mut healed = router.decide(cur, dst_sw, &view, &mut self.rng);
+            healed.hops = hops;
+            pkt.route = healed;
+            choice = router.next_hop(cur, &mut pkt.route, &view, &mut self.rng);
+        }
         let (port_sw, port_idx) = match choice {
-            Some(ch) => self.chan_port[ch.index()],
-            None => self.eject_port[pkt.dst.index()],
+            HopDecision::Forward(ch) => self.chan_port[ch.index()],
+            HopDecision::Eject => self.eject_port[pkt.dst.index()],
+            HopDecision::Stuck => {
+                // Even the healed route starts dead: drop here, recover
+                // end-to-end.
+                self.record_drop(&pkt, DropReason::NoRoute, now);
+                return;
+            }
         };
         debug_assert_eq!(port_sw, sw, "next hop not on this switch");
         // Fabric traversal latency (tile geometry + arbitration jitter).
@@ -550,6 +761,25 @@ impl Network {
     }
 
     fn enqueue_out(&mut self, sw: u32, port: u32, mut pkt: Packet, now: SimTime) {
+        if let Some(rt) = &self.faults {
+            // The output port may have died while the packet crossed the
+            // fabric; dead ports must not accumulate backlog (their queues
+            // were flushed when they went down).
+            let reason = if !rt.liveness.is_switch_up(SwitchId(sw)) {
+                Some(DropReason::SwitchDown)
+            } else {
+                match self.switches[sw as usize].ports[port as usize].kind {
+                    PortKind::Channel(ch) if !rt.liveness.is_channel_up(ch) => {
+                        Some(DropReason::LinkDown)
+                    }
+                    _ => None,
+                }
+            };
+            if let Some(reason) = reason {
+                self.record_drop(&pkt, reason, now);
+                return;
+            }
+        }
         let p = &mut self.switches[sw as usize].ports[port as usize];
         if matches!(p.kind, PortKind::Eject(_)) {
             // The endpoint-congestion signal: ejection-queue depth at
@@ -576,44 +806,21 @@ impl Network {
 
     fn tx_done(&mut self, sw: u32, port: u32, mut pkt: Packet, now: SimTime) {
         let (kind, prop) = {
-            let p = &mut self.switches[sw as usize].ports[port as usize];
-            p.busy = false;
+            let p = &self.switches[sw as usize].ports[port as usize];
             (p.kind, p.prop)
         };
+        if self.faults.is_some() {
+            match self.fault_tx_check(sw, port, kind, &mut pkt, now) {
+                TxVerdict::Proceed => {}
+                TxVerdict::Replayed | TxVerdict::Dropped => return,
+            }
+        }
+        self.switches[sw as usize].ports[port as usize].busy = false;
         // Return the input-buffer credit for the source this packet arrived
         // from (it has now left this switch).
         // The upstream sender consumed its credit at the packet's VC as of
         // the previous crossing: one less hop than the packet carries now.
-        let credit_target = match pkt.cur_source {
-            InSource::Channel(in_ch) => {
-                let (up_sw, up_port) = self.chan_port[in_ch.index()];
-                let up_prop = self.switches[up_sw as usize].ports[up_port as usize].prop;
-                let up_vc = vc_of(pkt.route.hops.saturating_sub(1)) as u8;
-                Some((
-                    CreditTarget::Port {
-                        sw: up_sw,
-                        port: up_port,
-                    },
-                    up_vc,
-                    up_prop,
-                ))
-            }
-            InSource::Node(n) => {
-                let up_prop = self.nics[n.index()].prop;
-                Some((CreditTarget::Nic(n.0), 0, up_prop))
-            }
-        };
-        if let Some((target, vc, up_prop)) = credit_target {
-            self.queue.push(
-                now + up_prop,
-                Event::CreditReturn {
-                    target,
-                    tc: pkt.tc,
-                    vc,
-                    bytes: pkt.wire,
-                },
-            );
-        }
+        self.return_upstream_credit(&pkt, now);
         match kind {
             PortKind::Channel(ch) => {
                 let to = self.topo.channel(ch).to.0;
@@ -629,6 +836,290 @@ impl Network {
             }
         }
         self.try_start_tx(sw, port, now);
+    }
+
+    /// Return the input-buffer credit `pkt` holds at its current switch to
+    /// the upstream sender (the port or NIC it entered from).
+    fn return_upstream_credit(&mut self, pkt: &Packet, now: SimTime) {
+        let (target, vc, up_prop) = match pkt.cur_source {
+            InSource::Channel(in_ch) => {
+                let (up_sw, up_port) = self.chan_port[in_ch.index()];
+                let up_prop = self.switches[up_sw as usize].ports[up_port as usize].prop;
+                let up_vc = vc_of(pkt.route.hops.saturating_sub(1)) as u8;
+                (
+                    CreditTarget::Port {
+                        sw: up_sw,
+                        port: up_port,
+                    },
+                    up_vc,
+                    up_prop,
+                )
+            }
+            InSource::Node(n) => (CreditTarget::Nic(n.0), 0, self.nics[n.index()].prop),
+        };
+        self.queue.push(
+            now + up_prop,
+            Event::CreditReturn {
+                target,
+                tc: pkt.tc,
+                vc,
+                bytes: pkt.wire,
+            },
+        );
+    }
+
+    /// Fault-mode checks when a port finishes serializing `pkt`: dead
+    /// link/switch destroys it; otherwise a transient error may trigger an
+    /// LLR replay (port stays busy) or — replay budget exhausted — destroy
+    /// the packet and take the link down for retraining.
+    fn fault_tx_check(
+        &mut self,
+        sw: u32,
+        port: u32,
+        kind: PortKind,
+        pkt: &mut Packet,
+        now: SimTime,
+    ) -> TxVerdict {
+        let rt = self.faults.as_mut().expect("fault mode");
+        if !rt.liveness.is_switch_up(SwitchId(sw)) {
+            self.drop_at_port(sw, port, pkt, DropReason::SwitchDown, now);
+            return TxVerdict::Dropped;
+        }
+        let PortKind::Channel(ch) = kind else {
+            return TxVerdict::Proceed;
+        };
+        if !rt.liveness.is_channel_up(ch) {
+            // The link was cut mid-serialization.
+            self.drop_at_port(sw, port, pkt, DropReason::LinkDown, now);
+            return TxVerdict::Dropped;
+        }
+        let rate = rt.error_rate(ch.index(), now);
+        if rate <= 0.0 || !rt.rng.chance(rate) {
+            return TxVerdict::Proceed;
+        }
+        if pkt.llr < rt.recovery.llr_max_retries {
+            // §II-F low-latency link-level retransmission: replay the
+            // packet on the same link after the replay latency.
+            pkt.llr += 1;
+            rt.stats.llr_replays += 1;
+            self.kernel.llr_replays += 1;
+            let replay = SimDuration::from_ns_f64(rt.recovery.reliability.llr_replay_ns);
+            self.queue.push(
+                now + replay,
+                Event::TxDone {
+                    sw,
+                    port,
+                    pkt: *pkt,
+                },
+            );
+            TxVerdict::Replayed
+        } else {
+            // Replay budget exhausted: declare the link bad, destroy the
+            // packet, and let the retrain (and the end-to-end retry)
+            // recover.
+            rt.stats.llr_escalations += 1;
+            self.kernel.llr_escalations += 1;
+            self.drop_at_port(sw, port, pkt, DropReason::LlrExhausted, now);
+            self.take_link_down(ch, now, true);
+            TxVerdict::Dropped
+        }
+    }
+
+    /// Destroy a packet already taken from `(sw, port)`'s queue: release
+    /// the port, roll back its downstream-buffer reservation and transmit
+    /// accounting, and record the loss.
+    fn drop_at_port(&mut self, sw: u32, port: u32, pkt: &Packet, reason: DropReason, now: SimTime) {
+        let p = &mut self.switches[sw as usize].ports[port as usize];
+        p.busy = false;
+        p.credit_return(pkt.tc as usize, vc_of(pkt.route.hops), pkt.wire);
+        p.tx_wire_bytes -= pkt.wire as u64;
+        self.record_drop(pkt, reason, now);
+    }
+
+    /// Record a destroyed copy: count it by reason and return the upstream
+    /// input-buffer credit it held. The sender's in-flight window is
+    /// reclaimed later by the copy's end-to-end timer.
+    fn record_drop(&mut self, pkt: &Packet, reason: DropReason, now: SimTime) {
+        self.kernel.packets_dropped += 1;
+        let rt = self.faults.as_mut().expect("drop outside fault mode");
+        match reason {
+            DropReason::LinkDown => rt.stats.dropped_link_down += 1,
+            DropReason::SwitchDown => rt.stats.dropped_switch_down += 1,
+            DropReason::NoRoute => rt.stats.dropped_no_route += 1,
+            DropReason::LlrExhausted => rt.stats.dropped_llr_exhausted += 1,
+        }
+        self.return_upstream_credit(pkt, now);
+    }
+
+    /// Drop every queued packet of `(sw, port)`: the port's buffers drain
+    /// into the void when its link or switch dies. A packet mid-
+    /// serialization is left to its `TxDone`, which re-checks liveness.
+    fn flush_port(&mut self, sw: u32, port: u32, reason: DropReason, now: SimTime) {
+        let p = &mut self.switches[sw as usize].ports[port as usize];
+        if !p.has_backlog() {
+            return;
+        }
+        let mut drained: Vec<Packet> = Vec::new();
+        for q in p.queues.iter_mut() {
+            drained.extend(q.drain(..));
+        }
+        p.queued_wire = 0;
+        for pkt in drained {
+            self.record_drop(&pkt, reason, now);
+        }
+    }
+
+    /// Apply one entry of the installed fault schedule.
+    fn apply_fault(&mut self, idx: u32, now: SimTime) {
+        let rt = self
+            .faults
+            .as_mut()
+            .expect("fault event outside fault mode");
+        rt.stats.faults_applied += 1;
+        let kind = rt.schedule.events()[idx as usize].kind;
+        match kind {
+            FaultKind::TransientBurst {
+                channel,
+                error_rate,
+                duration,
+            } => {
+                rt.burst_rate[channel.index()] = error_rate;
+                rt.burst_until[channel.index()] = now + duration;
+            }
+            FaultKind::LaneDegrade {
+                channel,
+                failed_lanes,
+            } => {
+                rt.stats.lane_degrade_events += 1;
+                let lanes = rt.lanes[channel.index()].degrade(failed_lanes);
+                rt.lanes[channel.index()] = lanes;
+                if lanes.is_up() {
+                    // The port keeps running at the surviving lanes' rate.
+                    let (sw, port) = self.chan_port[channel.index()];
+                    let healthy = PortLanes::rosetta().effective_gbps();
+                    self.switches[sw as usize].ports[port as usize].rate_bps =
+                        self.cfg.link_bytes_per_sec() * (lanes.effective_gbps() / healthy);
+                } else {
+                    // Losing the last lane takes the link down.
+                    self.take_link_down(channel, now, false);
+                }
+            }
+            FaultKind::LinkDown { channel } => self.take_link_down(channel, now, false),
+            FaultKind::LinkUp { channel } => self.bring_link_up(channel, now),
+            FaultKind::SwitchDown { switch } => self.take_switch_down(switch, now),
+            FaultKind::SwitchUp { switch } => {
+                let rt = self.faults.as_mut().expect("fault mode");
+                if rt.liveness.set_switch(switch, true) {
+                    rt.stats.switch_up_events += 1;
+                }
+            }
+        }
+    }
+
+    /// Take `ch` down: flush its queue as drops and (for LLR escalations)
+    /// schedule the automatic retrain.
+    fn take_link_down(&mut self, ch: ChannelId, now: SimTime, auto_repair: bool) {
+        let rt = self.faults.as_mut().expect("fault mode");
+        if !rt.liveness.set_channel(ch, false) {
+            return; // already down
+        }
+        rt.stats.link_down_events += 1;
+        let repair = if auto_repair {
+            rt.recovery.link_repair
+        } else {
+            None
+        };
+        let (sw, port) = self.chan_port[ch.index()];
+        self.flush_port(sw, port, DropReason::LinkDown, now);
+        if let Some(after) = repair {
+            self.queue.push(now + after, Event::LinkRepair { ch });
+        }
+    }
+
+    /// Bring `ch` back up with all lanes restored at full rate.
+    fn bring_link_up(&mut self, ch: ChannelId, now: SimTime) {
+        let (sw, port) = self.chan_port[ch.index()];
+        let link_bps = self.cfg.link_bytes_per_sec();
+        let rt = self.faults.as_mut().expect("fault mode");
+        rt.lanes[ch.index()] = PortLanes::rosetta();
+        if rt.liveness.set_channel(ch, true) {
+            rt.stats.link_up_events += 1;
+        }
+        self.switches[sw as usize].ports[port as usize].rate_bps = link_bps;
+        self.try_start_tx(sw, port, now);
+    }
+
+    /// A link taken down by LLR escalation finished retraining.
+    fn link_repair(&mut self, ch: ChannelId, now: SimTime) {
+        let rt = self.faults.as_mut().expect("fault mode");
+        rt.stats.auto_repairs += 1;
+        self.bring_link_up(ch, now);
+    }
+
+    /// Fail a whole switch: all of its output queues (channels and
+    /// ejection alike) drain as drops; arriving packets die at the door.
+    fn take_switch_down(&mut self, swid: SwitchId, now: SimTime) {
+        let rt = self.faults.as_mut().expect("fault mode");
+        if !rt.liveness.set_switch(swid, false) {
+            return; // already down
+        }
+        rt.stats.switch_down_events += 1;
+        let n_ports = self.switches[swid.index()].ports.len();
+        for port in 0..n_ports {
+            self.flush_port(swid.0, port as u32, DropReason::SwitchDown, now);
+        }
+    }
+
+    /// The end-to-end retransmit timer for one copy fired. If the copy is
+    /// still the outstanding one its ack never came: reclaim the in-flight
+    /// window and either stage a retransmit (exponential backoff) or give
+    /// the chunk up for good.
+    fn e2e_timeout(&mut self, msg: MessageId, chunk: u32, copy: u32, now: SimTime) {
+        let st = &self.messages[msg.0 as usize];
+        let (src, dst, tc, bytes) = (st.src, st.dst, st.tc, st.bytes);
+        let offset = chunk as u64 * MAX_PAYLOAD as u64;
+        let payload = (bytes - offset).min(MAX_PAYLOAD as u64) as u32;
+        let wire = self.cfg.frame.wire_bytes(payload, self.cfg.stack);
+        let rt = self.faults.as_mut().expect("e2e timer outside fault mode");
+        let Some(entry) = rt.retry.get_mut(&(msg.0, chunk)) else {
+            return; // acknowledged before the timer fired
+        };
+        if entry.copy != copy {
+            return; // timer of a superseded copy; a newer one is pending
+        }
+        rt.stats.e2e_timeouts += 1;
+        if entry.attempt >= rt.recovery.e2e_max_retries {
+            rt.retry.remove(&(msg.0, chunk));
+            rt.stats.e2e_giveups += 1;
+            self.nics[src.index()].sub_in_flight(dst, wire);
+            return;
+        }
+        entry.attempt += 1;
+        rt.next_copy += 1;
+        let new_copy = rt.next_copy;
+        entry.copy = new_copy;
+        rt.stats.e2e_retransmits += 1;
+        self.kernel.e2e_retransmits += 1;
+        self.nics[src.index()].sub_in_flight(dst, wire);
+        let pkt = Packet {
+            msg,
+            src,
+            dst,
+            payload,
+            wire,
+            tc,
+            routed: false,
+            route: RouteState::new(self.topo.switch_of_node(dst), Via::Direct),
+            cur_source: InSource::Node(src),
+            path_delay: SimDuration::ZERO,
+            ep_depth: 0,
+            born: now,
+            chunk,
+            copy: new_copy,
+            llr: 0,
+        };
+        self.nics[src.index()].retx.push_back(pkt);
+        self.try_inject(src.0, now);
     }
 
     fn credit_return(&mut self, target: CreditTarget, tc: u8, vc: u8, bytes: u32, now: SimTime) {
@@ -651,6 +1142,23 @@ impl Network {
     }
 
     fn arrive_nic(&mut self, pkt: Packet, now: SimTime) {
+        if self.faults.is_some() {
+            let st = &mut self.messages[pkt.msg.0 as usize];
+            let word = (pkt.chunk / 64) as usize;
+            let bit = 1u64 << (pkt.chunk & 63);
+            if st.delivered_chunks[word] & bit != 0 {
+                // Retransmitted copy of an already-delivered chunk (the
+                // original's ack was lost or late): ack it so the sender
+                // stops retrying, but deliver nothing twice.
+                let rt = self.faults.as_mut().expect("checked");
+                rt.stats.delivered_duplicate += 1;
+                self.push_ack(&pkt, now);
+                return;
+            }
+            st.delivered_chunks[word] |= bit;
+            let rt = self.faults.as_mut().expect("checked");
+            rt.stats.delivered_unique += 1;
+        }
         if let Some(sample) = &mut self.packet_latency {
             sample.push(now.since(pkt.born).as_ns_f64());
         }
@@ -673,6 +1181,11 @@ impl Network {
             });
         }
         // End-to-end ack on the dedicated ack plane: queue-free return.
+        self.push_ack(&pkt, now);
+    }
+
+    /// Schedule the end-to-end ack for a delivered packet copy.
+    fn push_ack(&mut self, pkt: &Packet, now: SimTime) {
         let congested = pkt.ep_depth >= self.cfg.ep_congestion_threshold;
         let delay = pkt.path_delay + self.cfg.ack_overhead;
         self.queue.push(
@@ -682,6 +1195,8 @@ impl Network {
                 dst: pkt.dst.0,
                 wire: pkt.wire,
                 msg: pkt.msg,
+                chunk: pkt.chunk,
+                copy: pkt.copy,
                 congested,
                 depth: pkt.ep_depth,
             },
@@ -695,10 +1210,24 @@ impl Network {
         dst: u32,
         wire: u32,
         msg: MessageId,
+        chunk: u32,
+        copy: u32,
         congested: bool,
         depth: u64,
         now: SimTime,
     ) {
+        if let Some(rt) = self.faults.as_mut() {
+            if rt.retry.get(&(msg.0, chunk)).map(|e| e.copy) == Some(copy) {
+                rt.retry.remove(&(msg.0, chunk));
+            } else {
+                // Ack of a superseded copy (its duplicate delivery) or of a
+                // chunk already resolved: the window and message accounting
+                // were settled by the first resolution.
+                rt.stats.stale_acks += 1;
+                self.try_inject(src, now);
+                return;
+            }
+        }
         let nic = &mut self.nics[src as usize];
         nic.sub_in_flight(NodeId(dst), wire);
         nic.cc.on_ack(

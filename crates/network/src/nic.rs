@@ -83,6 +83,10 @@ pub struct Nic {
     pub rate_bps: f64,
     /// Node-to-switch propagation delay.
     pub prop: SimDuration,
+    /// End-to-end retransmit staging queue: packets rebuilt after an e2e
+    /// timeout, launched ahead of new injections as credits permit.
+    /// Always empty outside fault mode.
+    pub retx: VecDeque<crate::packet::Packet>,
 }
 
 impl Nic {
@@ -126,6 +130,7 @@ mod tests {
             cc: CcEngine::from_config(&cc),
             rate_bps: 12.5e9,
             prop: SimDuration::from_ns(10),
+            retx: VecDeque::new(),
         }
     }
 

@@ -48,6 +48,14 @@ pub struct Packet {
     pub ep_depth: u64,
     /// When the NIC started serializing this packet.
     pub born: SimTime,
+    /// Index of this packet within its message (`offset / MAX_PAYLOAD`):
+    /// identifies the chunk for receiver dedup and end-to-end retry.
+    pub chunk: u32,
+    /// Transmission-copy id (0 outside fault mode): distinguishes the
+    /// original transmit from its retransmits so stale acks are ignored.
+    pub copy: u32,
+    /// LLR replay attempts consumed at the link currently serializing it.
+    pub llr: u8,
 }
 
 /// A notification surfaced to the software layer.
@@ -105,6 +113,10 @@ pub(crate) struct MessageState {
     /// Set when every packet has been injected (message leaves the NIC's
     /// active rotation).
     pub fully_injected: bool,
+    /// Receiver-side chunk-delivery bitmap (fault mode only, else empty):
+    /// retransmitted copies of an already-delivered chunk are acked but
+    /// not delivered twice.
+    pub delivered_chunks: Vec<u64>,
 }
 
 #[cfg(test)]

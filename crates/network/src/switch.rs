@@ -232,6 +232,9 @@ mod tests {
             path_delay: SimDuration::ZERO,
             ep_depth: 0,
             born: SimTime::ZERO,
+            chunk: 0,
+            copy: 0,
+            llr: 0,
         }
     }
 

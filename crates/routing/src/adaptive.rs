@@ -3,7 +3,7 @@
 use crate::plan::{RoutePhase, RouteState, Via};
 use crate::CongestionView;
 use slingshot_des::DetRng;
-use slingshot_topology::{ChannelId, Dragonfly, GroupId, SwitchId};
+use slingshot_topology::{ChannelId, Dragonfly, GroupId, Liveness, SwitchId};
 
 /// Which routing algorithm a network runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -46,17 +46,66 @@ impl Default for AdaptiveParams {
     }
 }
 
+/// Per-hop forwarding outcome (liveness-aware form of
+/// [`Router::next_channel`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HopDecision {
+    /// Forward on this channel.
+    Forward(ChannelId),
+    /// The packet is at its destination switch: eject.
+    Eject,
+    /// Every candidate channel toward the packet's target is dead — the
+    /// caller must re-route (or drop, accountably). Only reachable with a
+    /// liveness mask installed.
+    Stuck,
+}
+
 /// A routing engine bound to a topology.
 pub struct Router<'a> {
     topo: &'a Dragonfly,
     algo: RoutingAlgorithm,
     params: AdaptiveParams,
+    /// Fault-mode channel/switch liveness. `None` (the default) is the
+    /// healthy fast path: candidate filtering compiles down to the
+    /// original all-alive code and consumes identical RNG draws.
+    liveness: Option<&'a Liveness>,
 }
 
 impl<'a> Router<'a> {
-    /// New router.
+    /// New router over a fully healthy network.
     pub fn new(topo: &'a Dragonfly, algo: RoutingAlgorithm, params: AdaptiveParams) -> Self {
-        Router { topo, algo, params }
+        Router {
+            topo,
+            algo,
+            params,
+            liveness: None,
+        }
+    }
+
+    /// New router consulting `liveness`: dead channels and channels landing
+    /// on dead switches are skipped when picking candidates (still without
+    /// allocating — the borrowed CSR slices are filtered in place).
+    pub fn with_liveness(
+        topo: &'a Dragonfly,
+        algo: RoutingAlgorithm,
+        params: AdaptiveParams,
+        liveness: &'a Liveness,
+    ) -> Self {
+        Router {
+            topo,
+            algo,
+            params,
+            liveness: Some(liveness),
+        }
+    }
+
+    /// Whether `ch` may carry a packet (always true without a mask).
+    #[inline]
+    fn usable(&self, ch: ChannelId) -> bool {
+        match self.liveness {
+            None => true,
+            Some(l) => l.channel_usable(self.topo, ch),
+        }
     }
 
     /// The topology this router operates on.
@@ -92,6 +141,11 @@ impl<'a> Router<'a> {
     /// Per-switch forwarding: pick the output channel for a packet at
     /// `cur`, updating its `state` phase. `None` means the packet has
     /// arrived at its destination switch and should be ejected.
+    ///
+    /// Compatibility wrapper over [`Router::next_hop`] for healthy-network
+    /// callers; a [`HopDecision::Stuck`] outcome (only reachable with a
+    /// liveness mask) maps to `None` here, so mask-aware callers should use
+    /// `next_hop` directly.
     pub fn next_channel<V: CongestionView>(
         &self,
         cur: SwitchId,
@@ -99,6 +153,25 @@ impl<'a> Router<'a> {
         view: &V,
         rng: &mut DetRng,
     ) -> Option<ChannelId> {
+        match self.next_hop(cur, state, view, rng) {
+            HopDecision::Forward(ch) => Some(ch),
+            HopDecision::Eject => None,
+            HopDecision::Stuck => {
+                debug_assert!(false, "stuck packet needs liveness-aware handling");
+                None
+            }
+        }
+    }
+
+    /// Per-switch forwarding with explicit dead-end reporting: pick the
+    /// output channel for a packet at `cur`, updating its `state` phase.
+    pub fn next_hop<V: CongestionView>(
+        &self,
+        cur: SwitchId,
+        state: &mut RouteState,
+        view: &V,
+        rng: &mut DetRng,
+    ) -> HopDecision {
         // Phase transition at the intermediate.
         if state.phase == RoutePhase::ToIntermediate {
             let reached = match state.via {
@@ -120,33 +193,45 @@ impl<'a> Router<'a> {
         };
         if candidates.is_empty() {
             debug_assert_eq!(cur, state.dst, "stuck packet away from destination");
-            return None;
+            return HopDecision::Eject;
         }
-        Some(self.least_loaded(candidates, view, rng))
+        match self.least_loaded(candidates, view, rng) {
+            Some(ch) => HopDecision::Forward(ch),
+            None => HopDecision::Stuck,
+        }
     }
 
-    /// Pick the least-loaded channel, breaking ties uniformly at random.
+    /// Pick the least-loaded live channel, breaking ties uniformly at
+    /// random; `None` when every candidate is dead.
+    ///
+    /// With all candidates alive this consumes exactly the RNG draws of
+    /// the original unfiltered scan (no draw for the first candidate, one
+    /// reservoir draw per tie), so installing an all-up mask — or none —
+    /// keeps simulations byte-identical.
     fn least_loaded<V: CongestionView>(
         &self,
         candidates: &[ChannelId],
         view: &V,
         rng: &mut DetRng,
-    ) -> ChannelId {
+    ) -> Option<ChannelId> {
         debug_assert!(!candidates.is_empty());
-        let mut best = candidates[0];
-        let mut best_load = view.channel_load(best);
-        let mut ties = 1u64;
-        for &c in &candidates[1..] {
+        let mut best: Option<ChannelId> = None;
+        let mut best_load = 0u64;
+        let mut ties = 0u64;
+        for &c in candidates {
+            if !self.usable(c) {
+                continue;
+            }
             let load = view.channel_load(c);
-            if load < best_load {
-                best = c;
+            if best.is_none() || load < best_load {
+                best = Some(c);
                 best_load = load;
                 ties = 1;
             } else if load == best_load {
                 // Reservoir sampling over ties keeps the choice uniform.
                 ties += 1;
                 if rng.below(ties) == 0 {
-                    best = c;
+                    best = Some(c);
                 }
             }
         }
@@ -203,7 +288,12 @@ impl<'a> Router<'a> {
         }
     }
 
-    /// Cheapest load among up to `n` randomly sampled candidates.
+    /// Cheapest load among up to `n` randomly sampled live candidates;
+    /// `None` when no candidate is live.
+    ///
+    /// Sampling draws an index below the live count: with everything
+    /// alive that is `below(len)` — exactly the draw `rng.choose` made
+    /// before liveness existed — so healthy runs stay byte-identical.
     fn sample_costs<V: CongestionView>(
         &self,
         candidates: &[ChannelId],
@@ -211,12 +301,27 @@ impl<'a> Router<'a> {
         view: &V,
         rng: &mut DetRng,
     ) -> Option<u64> {
-        if candidates.is_empty() {
+        let n_live = match self.liveness {
+            None => candidates.len(),
+            Some(_) => candidates.iter().filter(|&&c| self.usable(c)).count(),
+        };
+        if n_live == 0 {
             return None;
         }
         let mut best: Option<u64> = None;
         for _ in 0..n.max(1) {
-            let c = *rng.choose(candidates);
+            let k = rng.below(n_live as u64) as usize;
+            let c = if n_live == candidates.len() {
+                candidates[k]
+            } else {
+                // k-th live candidate (dead ones skipped in place — no
+                // allocation on this path either).
+                *candidates
+                    .iter()
+                    .filter(|&&c| self.usable(c))
+                    .nth(k)
+                    .expect("k < live count")
+            };
             let load = view.channel_load(c);
             best = Some(best.map_or(load, |b: u64| b.min(load)));
         }
@@ -415,6 +520,144 @@ mod tests {
                 state = router.decide(SwitchId(0), dst, &QuietView, &mut rng);
             }
         }
+    }
+
+    #[test]
+    fn all_up_mask_is_rng_identical_to_no_mask() {
+        // The byte-identity guarantee: a router with an all-up liveness
+        // mask must make the same decisions AND consume the same number of
+        // RNG draws as one with no mask at all.
+        let t = topo();
+        let bare = Router::new(&t, RoutingAlgorithm::Adaptive, AdaptiveParams::default());
+        let live = Liveness::for_topology(&t);
+        let masked = Router::with_liveness(
+            &t,
+            RoutingAlgorithm::Adaptive,
+            AdaptiveParams::default(),
+            &live,
+        );
+        let mut loads = vec![0u64; t.channels().len()];
+        for (i, l) in loads.iter_mut().enumerate() {
+            *l = (i as u64 * 37) % 5; // plenty of ties to force draws
+        }
+        let view = TableView(loads);
+        let mut rng_a = DetRng::seed_from(11);
+        let mut rng_b = DetRng::seed_from(11);
+        for s in 0..16u32 {
+            for d in 0..16u32 {
+                let mut sa = bare.decide(SwitchId(s), SwitchId(d), &view, &mut rng_a);
+                let mut sb = masked.decide(SwitchId(s), SwitchId(d), &view, &mut rng_b);
+                assert_eq!(sa.via, sb.via);
+                let ca = bare.next_channel(SwitchId(s), &mut sa, &view, &mut rng_a);
+                let cb = masked.next_channel(SwitchId(s), &mut sb, &view, &mut rng_b);
+                assert_eq!(ca, cb);
+            }
+        }
+        // Same stream position afterwards.
+        assert_eq!(rng_a.below(u64::MAX), rng_b.below(u64::MAX));
+    }
+
+    #[test]
+    fn dead_channel_is_skipped() {
+        let t = topo();
+        let mut live = Liveness::for_topology(&t);
+        let dst = SwitchId(4); // other group: parallel global candidates
+        let cands: Vec<ChannelId> = t.next_hops_toward_switch(SwitchId(0), dst).to_vec();
+        if cands.len() < 2 {
+            return;
+        }
+        // Kill all but the last candidate.
+        for &c in &cands[..cands.len() - 1] {
+            live.set_channel(c, false);
+        }
+        let router = Router::with_liveness(
+            &t,
+            RoutingAlgorithm::Adaptive,
+            AdaptiveParams::default(),
+            &live,
+        );
+        let mut rng = DetRng::seed_from(12);
+        let mut state = RouteState::new(dst, Via::Direct);
+        for _ in 0..20 {
+            match router.next_hop(SwitchId(0), &mut state, &QuietView, &mut rng) {
+                HopDecision::Forward(ch) => assert_eq!(ch, *cands.last().unwrap()),
+                other => panic!("expected forward on the live channel, got {other:?}"),
+            }
+            state = RouteState::new(dst, Via::Direct);
+        }
+    }
+
+    #[test]
+    fn all_dead_candidates_report_stuck() {
+        let t = topo();
+        let mut live = Liveness::for_topology(&t);
+        let dst = SwitchId(4);
+        for &c in t.next_hops_toward_switch(SwitchId(0), dst) {
+            live.set_channel(c, false);
+        }
+        let router = Router::with_liveness(
+            &t,
+            RoutingAlgorithm::Minimal,
+            AdaptiveParams::default(),
+            &live,
+        );
+        let mut rng = DetRng::seed_from(13);
+        let mut state = RouteState::new(dst, Via::Direct);
+        assert_eq!(
+            router.next_hop(SwitchId(0), &mut state, &QuietView, &mut rng),
+            HopDecision::Stuck
+        );
+    }
+
+    #[test]
+    fn adaptive_falls_back_to_detour_when_minimal_first_hops_die() {
+        let t = topo();
+        let mut live = Liveness::for_topology(&t);
+        let dst = SwitchId(5); // group 1
+        for &c in t.next_hops_toward_switch(SwitchId(0), dst) {
+            live.set_channel(c, false);
+        }
+        let router = Router::with_liveness(
+            &t,
+            RoutingAlgorithm::Adaptive,
+            AdaptiveParams::default(),
+            &live,
+        );
+        let mut rng = DetRng::seed_from(14);
+        let mut detours = 0;
+        for _ in 0..100 {
+            let state = router.decide(SwitchId(0), dst, &QuietView, &mut rng);
+            if state.is_nonminimal() {
+                detours += 1;
+            }
+        }
+        assert!(
+            detours > 80,
+            "only {detours}/100 took the Valiant fallback around dead minimal hops"
+        );
+    }
+
+    #[test]
+    fn dead_landing_switch_disqualifies_channel() {
+        let t = topo();
+        let mut live = Liveness::for_topology(&t);
+        let dst = SwitchId(1); // same group as 0: direct local hop
+        let cands: Vec<ChannelId> = t.next_hops_toward_switch(SwitchId(0), dst).to_vec();
+        assert!(!cands.is_empty());
+        live.set_switch(dst, false);
+        let router = Router::with_liveness(
+            &t,
+            RoutingAlgorithm::Minimal,
+            AdaptiveParams::default(),
+            &live,
+        );
+        let mut rng = DetRng::seed_from(15);
+        let mut state = RouteState::new(dst, Via::Direct);
+        assert_eq!(
+            router.next_hop(SwitchId(0), &mut state, &QuietView, &mut rng),
+            HopDecision::Stuck,
+            "channels into a dead switch must not be used"
+        );
     }
 
     #[test]

@@ -1,0 +1,198 @@
+//! Compact link/switch liveness mask.
+//!
+//! The precomputed CSR route tables describe a permanently healthy
+//! dragonfly; fault injection needs a way to mark individual channels and
+//! switches dead without rebuilding those tables. [`Liveness`] is two
+//! bitsets (one bit per channel, one per switch) plus a down-counter, so
+//! the router's hot path pays a single `all_up()` branch when the network
+//! is healthy and two word-indexed bit tests per candidate when it is not
+//! — no allocation either way.
+
+use crate::dragonfly::Dragonfly;
+use crate::ids::{ChannelId, SwitchId};
+
+/// Bitset-backed channel/switch liveness (1 = up).
+#[derive(Clone, Debug)]
+pub struct Liveness {
+    channels: Vec<u64>,
+    switches: Vec<u64>,
+    n_channels: u32,
+    n_switches: u32,
+    /// Total entries (channels + switches) currently down.
+    down: u32,
+}
+
+#[inline]
+fn word_bit(idx: u32) -> (usize, u64) {
+    ((idx >> 6) as usize, 1u64 << (idx & 63))
+}
+
+impl Liveness {
+    /// A mask with `n_channels` channels and `n_switches` switches, all up.
+    pub fn new(n_channels: u32, n_switches: u32) -> Self {
+        Liveness {
+            channels: vec![u64::MAX; (n_channels as usize).div_ceil(64)],
+            switches: vec![u64::MAX; (n_switches as usize).div_ceil(64)],
+            n_channels,
+            n_switches,
+            down: 0,
+        }
+    }
+
+    /// A mask sized for `topo`, all up.
+    pub fn for_topology(topo: &Dragonfly) -> Self {
+        Liveness::new(topo.channels().len() as u32, topo.switch_count())
+    }
+
+    /// Whether every channel and switch is up (the healthy fast path).
+    #[inline]
+    pub fn all_up(&self) -> bool {
+        self.down == 0
+    }
+
+    /// Number of channels currently down.
+    pub fn channels_down(&self) -> u32 {
+        self.count_down(&self.channels, self.n_channels)
+    }
+
+    /// Number of switches currently down.
+    pub fn switches_down(&self) -> u32 {
+        self.count_down(&self.switches, self.n_switches)
+    }
+
+    fn count_down(&self, words: &[u64], n: u32) -> u32 {
+        let mut up = 0;
+        for (i, w) in words.iter().enumerate() {
+            let valid = if (i as u32 + 1) * 64 <= n {
+                64
+            } else {
+                n - i as u32 * 64
+            };
+            let mask = if valid == 64 {
+                u64::MAX
+            } else {
+                (1u64 << valid) - 1
+            };
+            up += (w & mask).count_ones();
+        }
+        n - up
+    }
+
+    /// Whether `ch` is up.
+    #[inline]
+    pub fn is_channel_up(&self, ch: ChannelId) -> bool {
+        let (w, b) = word_bit(ch.0);
+        self.channels[w] & b != 0
+    }
+
+    /// Whether `sw` is up.
+    #[inline]
+    pub fn is_switch_up(&self, sw: SwitchId) -> bool {
+        let (w, b) = word_bit(sw.0);
+        self.switches[w] & b != 0
+    }
+
+    /// Whether `ch` is usable as a next hop: the channel itself and the
+    /// switch it lands on are both up.
+    #[inline]
+    pub fn channel_usable(&self, topo: &Dragonfly, ch: ChannelId) -> bool {
+        self.is_channel_up(ch) && self.is_switch_up(topo.channel(ch).to)
+    }
+
+    /// Mark `ch` up or down. Idempotent (re-marking keeps the counter
+    /// consistent). Returns whether the state changed.
+    pub fn set_channel(&mut self, ch: ChannelId, up: bool) -> bool {
+        assert!(ch.0 < self.n_channels, "channel {ch:?} out of range");
+        let (w, b) = word_bit(ch.0);
+        let was_up = self.channels[w] & b != 0;
+        if was_up == up {
+            return false;
+        }
+        if up {
+            self.channels[w] |= b;
+            self.down -= 1;
+        } else {
+            self.channels[w] &= !b;
+            self.down += 1;
+        }
+        true
+    }
+
+    /// Mark `sw` up or down. Idempotent. Returns whether the state changed.
+    pub fn set_switch(&mut self, sw: SwitchId, up: bool) -> bool {
+        assert!(sw.0 < self.n_switches, "switch {sw:?} out of range");
+        let (w, b) = word_bit(sw.0);
+        let was_up = self.switches[w] & b != 0;
+        if was_up == up {
+            return false;
+        }
+        if up {
+            self.switches[w] |= b;
+            self.down -= 1;
+        } else {
+            self.switches[w] &= !b;
+            self.down += 1;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::systems::tiny;
+
+    #[test]
+    fn starts_all_up() {
+        let t = tiny().build();
+        let l = Liveness::for_topology(&t);
+        assert!(l.all_up());
+        assert_eq!(l.channels_down(), 0);
+        assert_eq!(l.switches_down(), 0);
+        for ch in t.channels() {
+            assert!(l.is_channel_up(ch.id));
+            assert!(l.channel_usable(&t, ch.id));
+        }
+    }
+
+    #[test]
+    fn set_and_restore_tracks_counter() {
+        let t = tiny().build();
+        let mut l = Liveness::for_topology(&t);
+        assert!(l.set_channel(ChannelId(0), false));
+        assert!(!l.all_up());
+        assert!(!l.is_channel_up(ChannelId(0)));
+        assert_eq!(l.channels_down(), 1);
+        // Idempotent re-marking does not drift the counter.
+        assert!(!l.set_channel(ChannelId(0), false));
+        assert_eq!(l.channels_down(), 1);
+        assert!(l.set_channel(ChannelId(0), true));
+        assert!(l.all_up());
+    }
+
+    #[test]
+    fn dead_landing_switch_makes_channel_unusable() {
+        let t = tiny().build();
+        let mut l = Liveness::for_topology(&t);
+        let ch = t.channels()[0].id;
+        let to = t.channel(ch).to;
+        l.set_switch(to, false);
+        assert!(l.is_channel_up(ch));
+        assert!(!l.channel_usable(&t, ch));
+        l.set_switch(to, true);
+        assert!(l.channel_usable(&t, ch));
+    }
+
+    #[test]
+    fn high_indices_use_later_words() {
+        let mut l = Liveness::new(130, 70);
+        l.set_channel(ChannelId(129), false);
+        l.set_switch(SwitchId(69), false);
+        assert!(!l.is_channel_up(ChannelId(129)));
+        assert!(l.is_channel_up(ChannelId(64)));
+        assert!(!l.is_switch_up(SwitchId(69)));
+        assert_eq!(l.channels_down(), 1);
+        assert_eq!(l.switches_down(), 1);
+        assert!(!l.all_up());
+    }
+}

@@ -1,22 +1,26 @@
-//! Offline stand-in for `serde_json`'s serialization API: renders the
-//! vendored `serde::Value` tree produced by `Serialize::serialize` into
-//! JSON text. Only the two entry points this workspace calls are provided
-//! (`to_string`, `to_string_pretty`).
+//! Offline stand-in for `serde_json`'s API: renders the vendored
+//! `serde::Value` tree produced by `Serialize::serialize` into JSON text
+//! (`to_string`, `to_string_pretty`) and parses JSON text back into a
+//! `serde::Value` tree (`from_str`) for scenario/spec loading.
 
 #![warn(missing_docs)]
 
 use serde::{Serialize, Value};
 use std::fmt;
 
-/// Serialization error. Rendering an owned value tree cannot actually
-/// fail, but the real crate's API returns `Result`, and callers format
-/// the error type, so it exists with the same shape.
+/// Serialization or parse error. Rendering an owned value tree cannot
+/// actually fail, but the real crate's API returns `Result`, and callers
+/// format the error type, so it exists with the same shape; parsing
+/// carries a message and byte offset.
 #[derive(Debug)]
-pub struct Error(());
+pub struct Error(Option<(String, usize)>);
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str("json serialization error")
+        match &self.0 {
+            Some((msg, at)) => write!(f, "json parse error at byte {at}: {msg}"),
+            None => f.write_str("json serialization error"),
+        }
     }
 }
 
@@ -105,6 +109,210 @@ fn write_float(out: &mut String, x: f64) {
     }
 }
 
+/// Parse JSON text into a [`Value`] tree.
+///
+/// Numbers parse as `UInt` when non-negative integral, `Int` when negative
+/// integral, and `Float` otherwise — mirroring what `Serialize` emits, so
+/// `from_str(&to_string(v)?)` round-trips the tagged trees this workspace
+/// writes (fault schedules, experiment rows). Trailing non-whitespace is
+/// an error.
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> Error {
+        Error(Some((msg.to_string(), self.pos)))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, lit: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.err("unexpected token"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.expect("null").map(|_| Value::Null),
+            Some(b't') => self.expect("true").map(|_| Value::Bool(true)),
+            Some(b'f') => self.expect("false").map(|_| Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.pos += 1; // '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.pos += 1; // '{'
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            if self.peek() != Some(b':') {
+                return Err(self.err("expected ':'"));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            entries.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        if self.peek() != Some(b'"') {
+            return Err(self.err("expected a string"));
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("invalid \\u escape"))?;
+                            // Surrogates (only reachable via escapes of
+                            // non-BMP chars, which this workspace never
+                            // writes) are replaced rather than paired.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input is a &str, so
+                    // boundaries are valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
 fn write_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
@@ -154,5 +362,65 @@ mod tests {
         }];
         let expected = "[\n  {\n    \"name\": \"shandy\",\n    \"gbps\": 200.0\n  }\n]";
         assert_eq!(to_string_pretty(&rows).unwrap(), expected);
+    }
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(from_str("null").unwrap(), Value::Null);
+        assert_eq!(from_str("true").unwrap(), Value::Bool(true));
+        assert_eq!(from_str(" false ").unwrap(), Value::Bool(false));
+        assert_eq!(from_str("42").unwrap(), Value::UInt(42));
+        assert_eq!(from_str("-3").unwrap(), Value::Int(-3));
+        assert_eq!(from_str("1.5e3").unwrap(), Value::Float(1500.0));
+        assert_eq!(
+            from_str("\"a\\\"b\\n\\u0041\"").unwrap(),
+            Value::Str("a\"b\nA".to_string())
+        );
+    }
+
+    #[test]
+    fn parse_containers() {
+        assert_eq!(from_str("[]").unwrap(), Value::Array(vec![]));
+        assert_eq!(from_str("{}").unwrap(), Value::Object(vec![]));
+        let v = from_str("[1, {\"k\": [true, null]}, -2.5]").unwrap();
+        assert_eq!(
+            v,
+            Value::Array(vec![
+                Value::UInt(1),
+                Value::Object(vec![(
+                    "k".to_string(),
+                    Value::Array(vec![Value::Bool(true), Value::Null])
+                )]),
+                Value::Float(-2.5),
+            ])
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_str("").is_err());
+        assert!(from_str("tru").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("{\"a\" 1}").is_err());
+        assert!(from_str("1 2").is_err());
+        assert!(from_str("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn round_trip_through_text() {
+        #[derive(serde::Serialize)]
+        struct Row {
+            name: String,
+            rate: f64,
+            count: u64,
+        }
+        let rows = vec![Row {
+            name: "burst".into(),
+            rate: 1e-6,
+            count: 3,
+        }];
+        let text = to_string(&rows).unwrap();
+        let parsed = from_str(&text).unwrap();
+        assert_eq!(parsed, rows.serialize());
     }
 }
