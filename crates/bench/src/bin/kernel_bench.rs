@@ -116,7 +116,8 @@ fn end_to_end(quick: bool) -> EndToEnd {
             net.send(NodeId(src), NodeId(dst), 64 << 10, 0, 0);
             messages += 1;
         }
-        net.run_to_quiescence(u64::MAX);
+        net.run_to_quiescence(u64::MAX)
+            .expect("quiesces within budget");
     }
     let wall = start.elapsed();
     let events = net.kernel_stats().events_total();
@@ -249,6 +250,31 @@ fn main() {
             jitter ^= jitter << 17;
             queue.push(SimTime::from_ps(t.as_ps() + 1_000 + jitter % 20_000), v);
             black_box(t);
+        },
+    ));
+
+    // Stall-diagnosis snapshot on a loaded network. Off the hot path (it
+    // runs once, when a sweep cell dies), but it walks every port, NIC
+    // and credit pool — this bench bounds that walk so the diagnosis
+    // stays cheap enough to attach to every failure row.
+    let mut net = SystemBuilder::new(System::Tiny, Profile::Slingshot)
+        .seed(9)
+        .build();
+    let n = net.node_count();
+    for src in 0..n {
+        net.send(NodeId(src), NodeId((src + 3) % n), 256 << 10, 0, 0);
+    }
+    for _ in 0..50_000 {
+        if !net.step() {
+            break;
+        }
+    }
+    benches.push(bench(
+        "stall_report_tiny_loaded",
+        2_000 * scale,
+        false,
+        || {
+            black_box(net.stall_report(50_000, 50_000));
         },
     ));
 

@@ -185,7 +185,8 @@ mod tests {
             0,
             0,
         );
-        net.run_to_quiescence(100_000);
+        net.run_to_quiescence(100_000)
+            .expect("quiesces within budget");
         assert_eq!(net.stats().messages_delivered, 1);
     }
 

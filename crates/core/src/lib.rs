@@ -15,7 +15,7 @@
 //!     .seed(7)
 //!     .build();
 //! net.send(NodeId(0), NodeId(8), 64 << 10, 0, 0);
-//! net.run_to_quiescence(1_000_000);
+//! net.run_to_quiescence(1_000_000).expect("quiesces");
 //! assert_eq!(net.stats().messages_delivered, 1);
 //! ```
 

@@ -7,7 +7,7 @@
 //! aggressiveness.
 
 use crate::congestion::{machine_for, Victim, WARMUP};
-use crate::runner;
+use crate::runner::{self, CellMeta, Outcome};
 use crate::scale::Scale;
 use serde::Serialize;
 use slingshot::congestion::SlingshotCcParams;
@@ -16,6 +16,7 @@ use slingshot::routing::RoutingAlgorithm;
 use slingshot::{Profile, System, SystemBuilder};
 use slingshot_des::SimDuration;
 use slingshot_mpi::{Engine, Job, ProtocolStack};
+use slingshot_network::SimError;
 use slingshot_stats::Sample;
 use slingshot_topology::{Allocation, AllocationPolicy};
 use slingshot_workloads::{Congestor, Microbench};
@@ -31,8 +32,12 @@ pub struct AblationRow {
     pub incast_impact: f64,
 }
 
-fn impact_with(net_builder: impl Fn() -> Network, iters: u32, budget: u64) -> f64 {
-    let measure = |with_aggressor: bool| -> f64 {
+fn impact_with(
+    net_builder: impl Fn() -> Network,
+    iters: u32,
+    budget: u64,
+) -> Result<f64, SimError> {
+    let measure = |with_aggressor: bool| -> Result<f64, SimError> {
         let net = net_builder();
         let nodes = net.node_count();
         let mut eng = Engine::new(net, ProtocolStack::mpi());
@@ -45,20 +50,50 @@ fn impact_with(net_builder: impl Fn() -> Network, iters: u32, budget: u64) -> f6
         let ranks = alloc.victim.len() as u32;
         let scripts = Victim::Micro(Microbench::Allreduce, 8).scripts(ranks, iters, 21);
         let job = eng.add_job(Job::new(alloc.victim.clone()), scripts, 0, WARMUP);
-        eng.run_to_completion(budget);
+        eng.run_to_completion(budget)?;
         let s = Sample::from_values(
             eng.iteration_durations(job)
                 .iter()
                 .map(|d| d.as_secs_f64())
                 .collect(),
         );
-        s.mean()
+        Ok(s.mean())
     };
-    measure(true) / measure(false)
+    Ok(measure(true)? / measure(false)?)
+}
+
+/// Quarantined sweep over ablation variants: one stalled or panicking
+/// variant becomes an error row while the rest complete.
+fn sweep<T: Sync>(
+    dimension: &'static str,
+    variants: &[T],
+    seed: u64,
+    label_of: impl Fn(&T) -> String + Sync,
+    impact_of: impl Fn(&T) -> Result<f64, SimError> + Sync,
+) -> Outcome<Vec<AblationRow>> {
+    let results = runner::quarantine_map(
+        variants,
+        |v| CellMeta {
+            label: format!("{dimension}: {}", label_of(v)),
+            seed,
+        },
+        |v| {
+            impact_of(v).map(|incast_impact| AblationRow {
+                dimension,
+                variant: label_of(v),
+                incast_impact,
+            })
+        },
+    );
+    let (rows, failures) = runner::split_results(results);
+    Outcome {
+        output: rows.into_iter().flatten().collect(),
+        failures,
+    }
 }
 
 /// Sweep the congestion-control algorithm.
-pub fn cc_algorithms(scale: Scale) -> Vec<AblationRow> {
+pub fn cc_algorithms(scale: Scale) -> Outcome<Vec<AblationRow>> {
     let nodes = 32;
     let iters = scale.iterations().clamp(3, 6);
     let budget = scale.event_budget();
@@ -67,30 +102,32 @@ pub fn cc_algorithms(scale: Scale) -> Vec<AblationRow> {
         ("ECN-like slow loop", Profile::SlingshotEcn),
         ("Slingshot per-pair", Profile::Slingshot),
     ];
-    runner::par_map(&variants, |&(label, profile)| {
-        // Keep everything but CC constant: use the Slingshot link/latency
-        // profile with the CC swapped in.
-        let builder = move || {
-            let mut cfg =
-                SystemBuilder::new(System::Custom(machine_for(nodes)), Profile::Slingshot)
-                    .seed(21)
-                    .config();
-            cfg.cc = SystemBuilder::new(System::Custom(machine_for(nodes)), profile)
-                .config()
-                .cc;
-            Network::new(cfg)
-        };
-        AblationRow {
-            dimension: "congestion control",
-            variant: label.to_string(),
-            incast_impact: impact_with(builder, iters, budget),
-        }
-    })
+    sweep(
+        "congestion control",
+        &variants,
+        21,
+        |&(label, _)| label.to_string(),
+        |&(_, profile)| {
+            // Keep everything but CC constant: use the Slingshot
+            // link/latency profile with the CC swapped in.
+            let builder = move || {
+                let mut cfg =
+                    SystemBuilder::new(System::Custom(machine_for(nodes)), Profile::Slingshot)
+                        .seed(21)
+                        .config();
+                cfg.cc = SystemBuilder::new(System::Custom(machine_for(nodes)), profile)
+                    .config()
+                    .cc;
+                Network::new(cfg)
+            };
+            impact_with(builder, iters, budget)
+        },
+    )
 }
 
 /// Sweep the routing algorithm (under an all-to-all aggressor, where
 /// routing matters most).
-pub fn routing_algorithms(scale: Scale) -> Vec<AblationRow> {
+pub fn routing_algorithms(scale: Scale) -> Outcome<Vec<AblationRow>> {
     let nodes = 32;
     let iters = scale.iterations().clamp(3, 6);
     let budget = scale.event_budget();
@@ -99,81 +136,92 @@ pub fn routing_algorithms(scale: Scale) -> Vec<AblationRow> {
         ("Valiant always", RoutingAlgorithm::Valiant),
         ("UGAL adaptive", RoutingAlgorithm::Adaptive),
     ];
-    runner::par_map(&variants, |&(label, routing)| {
-        let builder = move || {
-            SystemBuilder::new(System::Custom(machine_for(nodes)), Profile::Slingshot)
-                .routing(routing)
-                .seed(22)
-                .build()
-        };
-        AblationRow {
-            dimension: "routing",
-            variant: label.to_string(),
-            incast_impact: impact_with(builder, iters, budget),
-        }
-    })
+    sweep(
+        "routing",
+        &variants,
+        22,
+        |&(label, _)| label.to_string(),
+        |&(_, routing)| {
+            let builder = move || {
+                SystemBuilder::new(System::Custom(machine_for(nodes)), Profile::Slingshot)
+                    .routing(routing)
+                    .seed(22)
+                    .build()
+            };
+            impact_with(builder, iters, budget)
+        },
+    )
 }
 
 /// Sweep the CC stiffness: the multiplicative decrease applied on a
 /// congested ack.
-pub fn cc_stiffness(scale: Scale) -> Vec<AblationRow> {
+pub fn cc_stiffness(scale: Scale) -> Outcome<Vec<AblationRow>> {
     let nodes = 32;
     let iters = scale.iterations().clamp(3, 6);
     let budget = scale.event_budget();
     let variants = [0.9, 0.5, 0.25];
-    runner::par_map(&variants, |&factor| {
-        let builder = move || {
-            let mut cfg =
-                SystemBuilder::new(System::Custom(machine_for(nodes)), Profile::Slingshot)
-                    .seed(23)
-                    .config();
-            cfg.cc = CcConfig::Slingshot(SlingshotCcParams {
-                decrease_factor: factor,
-                ..SlingshotCcParams::default()
-            });
-            Network::new(cfg)
-        };
-        AblationRow {
-            dimension: "cc decrease factor",
-            variant: format!("x{factor}"),
-            incast_impact: impact_with(builder, iters, budget),
-        }
-    })
+    sweep(
+        "cc decrease factor",
+        &variants,
+        23,
+        |&factor| format!("x{factor}"),
+        |&factor| {
+            let builder = move || {
+                let mut cfg =
+                    SystemBuilder::new(System::Custom(machine_for(nodes)), Profile::Slingshot)
+                        .seed(23)
+                        .config();
+                cfg.cc = CcConfig::Slingshot(SlingshotCcParams {
+                    decrease_factor: factor,
+                    ..SlingshotCcParams::default()
+                });
+                Network::new(cfg)
+            };
+            impact_with(builder, iters, budget)
+        },
+    )
 }
 
 /// Sweep the CC recovery hold-off (how fast throttled flows probe back).
-pub fn cc_recovery(scale: Scale) -> Vec<AblationRow> {
+pub fn cc_recovery(scale: Scale) -> Outcome<Vec<AblationRow>> {
     let nodes = 32;
     let iters = scale.iterations().clamp(3, 6);
     let budget = scale.event_budget();
     let variants = [1u64, 5, 50];
-    runner::par_map(&variants, |&holdoff_us| {
-        let builder = move || {
-            let mut cfg =
-                SystemBuilder::new(System::Custom(machine_for(nodes)), Profile::Slingshot)
-                    .seed(24)
-                    .config();
-            cfg.cc = CcConfig::Slingshot(SlingshotCcParams {
-                recovery_holdoff: SimDuration::from_us(holdoff_us),
-                ..SlingshotCcParams::default()
-            });
-            Network::new(cfg)
-        };
-        AblationRow {
-            dimension: "cc recovery holdoff",
-            variant: format!("{holdoff_us}us"),
-            incast_impact: impact_with(builder, iters, budget),
-        }
-    })
+    sweep(
+        "cc recovery holdoff",
+        &variants,
+        24,
+        |&holdoff_us| format!("{holdoff_us}us"),
+        |&holdoff_us| {
+            let builder = move || {
+                let mut cfg =
+                    SystemBuilder::new(System::Custom(machine_for(nodes)), Profile::Slingshot)
+                        .seed(24)
+                        .config();
+                cfg.cc = CcConfig::Slingshot(SlingshotCcParams {
+                    recovery_holdoff: SimDuration::from_us(holdoff_us),
+                    ..SlingshotCcParams::default()
+                });
+                Network::new(cfg)
+            };
+            impact_with(builder, iters, budget)
+        },
+    )
 }
 
-/// Run every ablation.
-pub fn run(scale: Scale) -> Vec<AblationRow> {
-    let mut rows = cc_algorithms(scale);
-    rows.extend(routing_algorithms(scale));
-    rows.extend(cc_stiffness(scale));
-    rows.extend(cc_recovery(scale));
-    rows
+/// Run every ablation, merging rows and error rows across the sweeps.
+pub fn run(scale: Scale) -> Outcome<Vec<AblationRow>> {
+    let mut out = cc_algorithms(scale);
+    for part in [
+        routing_algorithms(scale),
+        cc_stiffness(scale),
+        cc_recovery(scale),
+    ] {
+        out.output.extend(part.output);
+        out.failures.extend(part.failures);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -182,7 +230,9 @@ mod tests {
 
     #[test]
     fn cc_ablation_orders_algorithms() {
-        let rows = cc_algorithms(Scale::Tiny);
+        let out = cc_algorithms(Scale::Tiny);
+        assert!(!out.failed(), "fault-free sweep has no error rows");
+        let rows = out.output;
         let impact = |label: &str| -> f64 {
             rows.iter()
                 .find(|r| r.variant.starts_with(label))
@@ -201,7 +251,7 @@ mod tests {
 
     #[test]
     fn stiffness_matters_directionally() {
-        let rows = cc_stiffness(Scale::Tiny);
+        let rows = cc_stiffness(Scale::Tiny).output;
         // A gentle 0.9 decrease factor cannot beat the stiff 0.25 one by
         // any large margin (stiff back-pressure is the design point).
         let gentle = rows[0].incast_impact;

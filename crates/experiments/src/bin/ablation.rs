@@ -1,20 +1,21 @@
 //! Ablation sweeps: which design choices produce Slingshot's congestion
 //! isolation (not a paper figure; see DESIGN.md).
 
-use slingshot_experiments::report::{save_json, Table};
+use slingshot_experiments::report::{report_failures, save_json, Table};
 use slingshot_experiments::{ablation, runner, RunConfig};
 
 fn main() {
     let cfg = RunConfig::from_args();
     let scale = cfg.scale;
-    let rows = runner::with_jobs(cfg.jobs, || ablation::run(scale));
+    let out = runner::with_jobs(cfg.jobs, || ablation::run(scale));
+    let rows = &out.output;
     println!(
         "Ablations — 8B allreduce victim vs 50% incast, interleaved ({})",
         scale.label()
     );
     println!();
     let mut t = Table::new(["dimension", "variant", "incast impact"]);
-    for r in &rows {
+    for r in rows {
         t.row([
             r.dimension.to_string(),
             r.variant.clone(),
@@ -22,8 +23,12 @@ fn main() {
         ]);
     }
     t.print();
-    save_json(&format!("ablation_{}", scale.label()), &rows);
+    let name = format!("ablation_{}", scale.label());
+    save_json(&name, rows);
     if cfg.verbose {
         slingshot_experiments::report::print_kernel_stats();
+    }
+    if report_failures(&name, &out.failures) {
+        std::process::exit(1);
     }
 }

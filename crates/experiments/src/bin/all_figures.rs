@@ -1,5 +1,9 @@
 //! Runs every figure reproduction at the selected scale, in order,
-//! forwarding `--jobs` to each figure binary.
+//! forwarding `--jobs` (and `--resume`) to each figure binary.
+//!
+//! A failing figure does not abort the batch: the remaining figures still
+//! run, the failures are listed at the end, and the process exits
+//! non-zero.
 
 use slingshot_experiments::RunConfig;
 use std::process::Command;
@@ -20,20 +24,53 @@ const FIGS: [&str; 11] = [
 
 fn main() {
     let cfg = RunConfig::from_args();
-    let exe_dir = std::env::current_exe()
-        .expect("current exe")
-        .parent()
-        .expect("exe dir")
-        .to_path_buf();
+    let exe_dir = match std::env::current_exe() {
+        Ok(p) => match p.parent() {
+            Some(d) => d.to_path_buf(),
+            None => {
+                eprintln!(
+                    "error: executable path {} has no parent directory",
+                    p.display()
+                );
+                std::process::exit(1);
+            }
+        },
+        Err(e) => {
+            eprintln!("error: cannot locate this executable: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut failed: Vec<&str> = Vec::new();
     for fig in FIGS {
         println!("\n================ {fig} ================\n");
         let mut cmd = Command::new(exe_dir.join(fig));
         cmd.arg(format!("--{}", cfg.scale.label()))
             .arg(format!("--jobs={}", cfg.jobs));
+        if cfg.resume {
+            cmd.arg("--resume");
+        }
         if cfg.verbose {
             cmd.arg("--verbose");
         }
-        let status = cmd.status().expect("spawn figure binary");
-        assert!(status.success(), "{fig} failed");
+        match cmd.status() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                eprintln!("error: {fig} exited with {status}");
+                failed.push(fig);
+            }
+            Err(e) => {
+                eprintln!("error: cannot run {}: {e}", exe_dir.join(fig).display());
+                failed.push(fig);
+            }
+        }
+    }
+    if !failed.is_empty() {
+        eprintln!(
+            "\n{} of {} figures failed: {}",
+            failed.len(),
+            FIGS.len(),
+            failed.join(", ")
+        );
+        std::process::exit(1);
     }
 }

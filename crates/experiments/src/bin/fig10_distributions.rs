@@ -1,12 +1,14 @@
 //! Reproduces Fig. 10: impact distributions across allocations/PPN/size.
 
-use slingshot_experiments::report::{fmt_impact, save_json, Table};
-use slingshot_experiments::{fig10, runner, RunConfig};
+use slingshot_experiments::report::{fmt_impact, report_failures, save_json, Table};
+use slingshot_experiments::{fig10, runner, RunConfig, SweepCache};
 
 fn main() {
     let cfg = RunConfig::from_args();
     let scale = cfg.scale;
-    let rows = runner::with_jobs(cfg.jobs, || fig10::run(scale));
+    let cache = cfg.resume.then(|| SweepCache::for_figure("fig10"));
+    let out = runner::with_jobs(cfg.jobs, || fig10::run_with(scale, cache.as_ref()));
+    let rows = &out.output;
     println!(
         "Fig. 10 — congestion-impact distributions ({})",
         scale.label()
@@ -21,7 +23,7 @@ fn main() {
         "max",
         "cells",
     ]);
-    for r in &rows {
+    for r in rows {
         t.row([
             r.panel.to_string(),
             r.profile.to_string(),
@@ -36,8 +38,15 @@ fn main() {
     println!();
     println!("paper maxima — A: Aries 92/144/154 (lin/int/rand) vs Slingshot ≤2.3;");
     println!("B (24 PPN): Aries up to 424; C (128 nodes): Aries ~40, Slingshot ≤1.5.");
-    save_json(&format!("fig10_{}", scale.label()), &rows);
+    let name = format!("fig10_{}", scale.label());
+    save_json(&name, rows);
+    if let Some(cache) = &cache {
+        cache.log_resume_summary(&name);
+    }
     if cfg.verbose {
         slingshot_experiments::report::print_kernel_stats();
+    }
+    if report_failures(&name, &out.failures) {
+        std::process::exit(1);
     }
 }

@@ -1,19 +1,21 @@
 //! Reproduces Fig. 11: congestion impact at full system scale.
 
-use slingshot_experiments::report::{fmt_impact, save_json, Table};
-use slingshot_experiments::{fig11, runner, RunConfig};
+use slingshot_experiments::report::{fmt_impact, report_failures, save_json, Table};
+use slingshot_experiments::{fig11, runner, RunConfig, SweepCache};
 
 fn main() {
     let cfg = RunConfig::from_args();
     let scale = cfg.scale;
-    let rows = runner::with_jobs(cfg.jobs, || fig11::run(scale));
+    let cache = cfg.resume.then(|| SweepCache::for_figure("fig11"));
+    let out = runner::with_jobs(cfg.jobs, || fig11::run_with(scale, cache.as_ref()));
+    let rows = &out.output;
     println!(
         "Fig. 11 — full-scale congestion impact, random allocation ({})",
         scale.label()
     );
     println!();
     let mut t = Table::new(["aggressor", "share", "victim", "impact"]);
-    for r in &rows {
+    for r in rows {
         let val = match r.impact {
             Some(i) if r.rounded => format!("{}*", fmt_impact(i)),
             Some(i) => fmt_impact(i),
@@ -32,8 +34,15 @@ fn main() {
     println!(
         "paper: worst case 3.55x (LAMMPS, 75% incast); congestion control holds at 1024 nodes."
     );
-    save_json(&format!("fig11_{}", scale.label()), &rows);
+    let name = format!("fig11_{}", scale.label());
+    save_json(&name, rows);
+    if let Some(cache) = &cache {
+        cache.log_resume_summary(&name);
+    }
     if cfg.verbose {
         slingshot_experiments::report::print_kernel_stats();
+    }
+    if report_failures(&name, &out.failures) {
+        std::process::exit(1);
     }
 }

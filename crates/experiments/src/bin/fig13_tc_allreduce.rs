@@ -1,12 +1,13 @@
 //! Reproduces Fig. 13: traffic-class isolation of an 8 B allreduce.
 
-use slingshot_experiments::report::{save_json, Table};
+use slingshot_experiments::report::{report_failures, save_json, Table};
 use slingshot_experiments::{fig13, runner, RunConfig};
 
 fn main() {
     let cfg = RunConfig::from_args();
     let scale = cfg.scale;
-    let rows = runner::with_jobs(cfg.jobs, || fig13::run(scale));
+    let out = runner::with_jobs(cfg.jobs, || fig13::run(scale));
+    let rows = &out.output;
     println!(
         "Fig. 13 — 8B allreduce + 256KiB alltoall, same vs separate TCs ({})",
         scale.label()
@@ -44,8 +45,12 @@ fn main() {
     t.print();
     println!();
     println!("paper: 2.85x in the same class once the alltoall starts (~0.4 ms), 1.15x in a separate class.");
-    save_json(&format!("fig13_{}", scale.label()), &rows);
+    let name = format!("fig13_{}", scale.label());
+    save_json(&name, rows);
     if cfg.verbose {
         slingshot_experiments::report::print_kernel_stats();
+    }
+    if report_failures(&name, &out.failures) {
+        std::process::exit(1);
     }
 }

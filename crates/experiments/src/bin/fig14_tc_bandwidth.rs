@@ -1,13 +1,14 @@
 //! Reproduces Fig. 14: bandwidth guarantees between traffic classes.
 
 use slingshot_experiments::fig14::window_mean;
-use slingshot_experiments::report::{save_json, Table};
+use slingshot_experiments::report::{report_failures, save_json, Table};
 use slingshot_experiments::{fig14, runner, RunConfig};
 
 fn main() {
     let cfg = RunConfig::from_args();
     let scale = cfg.scale;
-    let rows = runner::with_jobs(cfg.jobs, || fig14::run(scale));
+    let out = runner::with_jobs(cfg.jobs, || fig14::run(scale));
+    let rows = &out.output;
     println!(
         "Fig. 14 — two bisection jobs, same vs separate TCs ({})",
         scale.label()
@@ -27,8 +28,8 @@ fn main() {
             t.row([
                 label.to_string(),
                 format!("{:.1}-{:.1}", from.max(0.0), to),
-                format!("{:.2}", window_mean(&rows, same, 1, from, to)),
-                format!("{:.2}", window_mean(&rows, same, 2, from, to)),
+                format!("{:.2}", window_mean(rows, same, 1, from, to)),
+                format!("{:.2}", window_mean(rows, same, 2, from, to)),
             ]);
         }
     }
@@ -36,8 +37,12 @@ fn main() {
     println!();
     println!("paper: same class → fair 50/50 during overlap; separate classes → job1 holds");
     println!("~80% (its guarantee) and job2 gets ~20% (its 10% + the unallocated 10%).");
-    save_json(&format!("fig14_{}", scale.label()), &rows);
+    let name = format!("fig14_{}", scale.label());
+    save_json(&name, rows);
     if cfg.verbose {
         slingshot_experiments::report::print_kernel_stats();
+    }
+    if report_failures(&name, &out.failures) {
+        std::process::exit(1);
     }
 }

@@ -1,12 +1,13 @@
 //! Reproduces Fig. 2: the Rosetta switch-latency distribution.
 
-use slingshot_experiments::report::{save_json, Table};
+use slingshot_experiments::report::{report_failures, save_json, Table};
 use slingshot_experiments::{fig2, runner, RunConfig};
 
 fn main() {
     let cfg = RunConfig::from_args();
     let scale = cfg.scale;
-    let r = runner::with_jobs(cfg.jobs, || fig2::run(scale));
+    let out = runner::with_jobs(cfg.jobs, || fig2::run(scale));
+    let r = &out.output;
     println!(
         "Fig. 2 — Rosetta switch latency distribution ({})",
         scale.label()
@@ -30,8 +31,12 @@ fn main() {
         t.row([format!("{ns:.0}"), format!("{d:.4}")]);
     }
     t.print();
-    save_json(&format!("fig2_{}", scale.label()), &r);
+    let name = format!("fig2_{}", scale.label());
+    save_json(&name, r);
     if cfg.verbose {
         slingshot_experiments::report::print_kernel_stats();
+    }
+    if report_failures(&name, &out.failures) {
+        std::process::exit(1);
     }
 }

@@ -1,12 +1,13 @@
 //! Reproduces Fig. 4: latency/bandwidth vs node distance (isolated system).
 
-use slingshot_experiments::report::{fmt_bytes, save_json, Table};
+use slingshot_experiments::report::{fmt_bytes, report_failures, save_json, Table};
 use slingshot_experiments::{fig4, runner, RunConfig};
 
 fn main() {
     let cfg = RunConfig::from_args();
     let scale = cfg.scale;
-    let rows = runner::with_jobs(cfg.jobs, || fig4::run(scale));
+    let out = runner::with_jobs(cfg.jobs, || fig4::run(scale));
+    let rows = &out.output;
     println!(
         "Fig. 4 — node distance vs latency/bandwidth ({})",
         scale.label()
@@ -22,7 +23,7 @@ fn main() {
         "L(us)",
         "bw (Gb/s)",
     ]);
-    for r in &rows {
+    for r in rows {
         t.row([
             r.distance.label().to_string(),
             fmt_bytes(r.bytes),
@@ -35,8 +36,12 @@ fn main() {
         ]);
     }
     t.print();
-    save_json(&format!("fig4_{}", scale.label()), &rows);
+    let name = format!("fig4_{}", scale.label());
+    save_json(&name, rows);
     if cfg.verbose {
         slingshot_experiments::report::print_kernel_stats();
+    }
+    if report_failures(&name, &out.failures) {
+        std::process::exit(1);
     }
 }

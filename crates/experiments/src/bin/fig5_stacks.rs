@@ -1,16 +1,17 @@
 //! Reproduces Fig. 5: RTT/2 per software layer vs message size.
 
-use slingshot_experiments::report::{fmt_bytes, save_json, Table};
+use slingshot_experiments::report::{fmt_bytes, report_failures, save_json, Table};
 use slingshot_experiments::{fig5, runner, RunConfig};
 
 fn main() {
     let cfg = RunConfig::from_args();
     let scale = cfg.scale;
-    let rows = runner::with_jobs(cfg.jobs, || fig5::run(scale));
+    let out = runner::with_jobs(cfg.jobs, || fig5::run(scale));
+    let rows = &out.output;
     println!("Fig. 5 — RTT/2 by software layer ({})", scale.label());
     println!();
     let mut t = Table::new(["stack", "size", "RTT/2 (us)"]);
-    for r in &rows {
+    for r in rows {
         t.row([
             r.stack.to_string(),
             fmt_bytes(r.bytes),
@@ -20,8 +21,12 @@ fn main() {
     t.print();
     println!();
     println!("paper inset at 8 B: verbs ~1.3 us, MPI slightly above libfabric, UDP ~2.3, TCP ~3.3");
-    save_json(&format!("fig5_{}", scale.label()), &rows);
+    let name = format!("fig5_{}", scale.label());
+    save_json(&name, rows);
     if cfg.verbose {
         slingshot_experiments::report::print_kernel_stats();
+    }
+    if report_failures(&name, &out.failures) {
+        std::process::exit(1);
     }
 }

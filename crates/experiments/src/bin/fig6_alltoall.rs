@@ -1,12 +1,13 @@
 //! Reproduces Fig. 6: bisection and MPI_Alltoall bandwidth on Shandy.
 
-use slingshot_experiments::report::{fmt_bytes, save_json, Table};
+use slingshot_experiments::report::{fmt_bytes, report_failures, save_json, Table};
 use slingshot_experiments::{fig6, runner, RunConfig};
 
 fn main() {
     let cfg = RunConfig::from_args();
     let scale = cfg.scale;
-    let r = runner::with_jobs(cfg.jobs, || fig6::run(scale));
+    let out = runner::with_jobs(cfg.jobs, || fig6::run(scale));
+    let r = &out.output;
     println!(
         "Fig. 6 — bisection & alltoall bandwidth, {} groups / {} nodes ({})",
         r.groups,
@@ -34,8 +35,12 @@ fn main() {
         ]);
     }
     t.print();
-    save_json(&format!("fig6_{}", scale.label()), &r);
+    let name = format!("fig6_{}", scale.label());
+    save_json(&name, r);
     if cfg.verbose {
         slingshot_experiments::report::print_kernel_stats();
+    }
+    if report_failures(&name, &out.failures) {
+        std::process::exit(1);
     }
 }

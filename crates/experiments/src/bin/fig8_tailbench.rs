@@ -1,12 +1,13 @@
 //! Reproduces Fig. 8: Tailbench latency distributions ± incast congestion.
 
-use slingshot_experiments::report::{save_json, Table};
+use slingshot_experiments::report::{report_failures, save_json, Table};
 use slingshot_experiments::{fig8, runner, RunConfig};
 
 fn main() {
     let cfg = RunConfig::from_args();
     let scale = cfg.scale;
-    let rows = runner::with_jobs(cfg.jobs, || fig8::run(scale));
+    let out = runner::with_jobs(cfg.jobs, || fig8::run(scale));
+    let rows = &out.output;
     println!(
         "Fig. 8 — Tailbench under endpoint congestion ({})",
         scale.label()
@@ -21,7 +22,7 @@ fn main() {
         "95p(ms)",
         "99p(ms)",
     ]);
-    for r in &rows {
+    for r in rows {
         t.row([
             r.app.to_string(),
             r.profile.to_string(),
@@ -36,8 +37,12 @@ fn main() {
     println!();
     println!("paper: severe degradation on Aries for silo/xapian/img-dnn, none on Slingshot;");
     println!("sphinx degrades least (lowest communication/computation ratio).");
-    save_json(&format!("fig8_{}", scale.label()), &rows);
+    let name = format!("fig8_{}", scale.label());
+    save_json(&name, rows);
     if cfg.verbose {
         slingshot_experiments::report::print_kernel_stats();
+    }
+    if report_failures(&name, &out.failures) {
+        std::process::exit(1);
     }
 }

@@ -1,20 +1,22 @@
 //! Reproduces Fig. 9: the congestion-impact heatmap.
 
-use slingshot_experiments::fig9::{run, HeatmapOpts};
-use slingshot_experiments::report::{fmt_impact, save_json, Table};
-use slingshot_experiments::{runner, RunConfig};
+use slingshot_experiments::fig9::{run_with, HeatmapOpts};
+use slingshot_experiments::report::{fmt_impact, report_failures, save_json, Table};
+use slingshot_experiments::{runner, RunConfig, SweepCache};
 
 fn main() {
     let cfg = RunConfig::from_args();
     let scale = cfg.scale;
     let opts = HeatmapOpts::fig9(scale);
-    let cells = runner::with_jobs(cfg.jobs, || run(&opts));
+    let cache = cfg.resume.then(|| SweepCache::for_figure("fig9"));
+    let out = runner::with_jobs(cfg.jobs, || run_with(&opts, cache.as_ref()));
+    let cells = &out.output;
     println!("Fig. 9 — congestion impact heatmap ({})", scale.label());
     println!();
     for profile in ["Aries", "Slingshot"] {
         println!("== {profile} ==");
         let mut victims: Vec<String> = Vec::new();
-        for c in &cells {
+        for c in cells {
             if c.profile == profile && !victims.contains(&c.victim) {
                 victims.push(c.victim.clone());
             }
@@ -46,8 +48,15 @@ fn main() {
     }
     println!("paper: max 93x on Aries vs 1.3x on Slingshot; incast >> all-to-all;");
     println!("impact grows with aggressor share and hits small messages hardest.");
-    save_json(&format!("fig9_{}", scale.label()), &cells);
+    let name = format!("fig9_{}", scale.label());
+    save_json(&name, cells);
+    if let Some(cache) = &cache {
+        cache.log_resume_summary(&name);
+    }
     if cfg.verbose {
         slingshot_experiments::report::print_kernel_stats();
+    }
+    if report_failures(&name, &out.failures) {
+        std::process::exit(1);
     }
 }

@@ -1,13 +1,14 @@
 //! Resilience sweep: throughput/latency degradation and recovery under
 //! seeded fault injection (not a paper figure; exercises §II-F).
 
-use slingshot_experiments::report::{save_json, Table};
+use slingshot_experiments::report::{report_failures, save_json, Table};
 use slingshot_experiments::{resilience, runner, RunConfig};
 
 fn main() {
     let cfg = RunConfig::from_args();
     let scale = cfg.scale;
-    let rows = runner::with_jobs(cfg.jobs, || resilience::run(scale));
+    let out = runner::with_jobs(cfg.jobs, || resilience::run(scale));
+    let rows = &out.output;
     println!(
         "Resilience — shift pattern under injected faults ({})",
         scale.label()
@@ -26,7 +27,7 @@ fn main() {
         "p50 us",
         "p99 us",
     ]);
-    for r in &rows {
+    for r in rows {
         t.row([
             format!("{}x", r.intensity),
             r.faults.faults_applied.to_string(),
@@ -52,8 +53,12 @@ fn main() {
         "ladder: LLR replay -> lane degrade -> link down -> reroute -> e2e retry; \
          intensity 0 is the byte-identical fault-free path."
     );
-    save_json(&format!("fig_resilience_{}", scale.label()), &rows);
+    let name = format!("fig_resilience_{}", scale.label());
+    save_json(&name, rows);
     if cfg.verbose {
         slingshot_experiments::report::print_kernel_stats();
+    }
+    if report_failures(&name, &out.failures) {
+        std::process::exit(1);
     }
 }

@@ -10,6 +10,7 @@ use serde::Serialize;
 use slingshot::{Profile, System, SystemBuilder};
 use slingshot_des::{SimDuration, SimTime};
 use slingshot_mpi::{Engine, Job, ProtocolStack, Script};
+use slingshot_network::SimError;
 use slingshot_stats::Sample;
 use slingshot_topology::{shandy, Allocation, AllocationPolicy, DragonflyParams};
 use slingshot_workloads::ember;
@@ -144,8 +145,29 @@ pub fn machine_for(nodes: u32) -> DragonflyParams {
 /// starts.
 pub const WARMUP: SimTime = SimTime(150 * slingshot_des::PS_PER_US);
 
-/// Run one cell with one victim; returns per-iteration stats.
-pub fn run_cell(cell: &Cell, victim: Victim, iters: u32, event_budget: u64) -> CellResult {
+/// CI/test hook: when `SLINGSHOT_STALL_VICTIM` is set to a non-empty
+/// substring of this victim's label, clamp the cell's event budget to a
+/// value no real cell finishes under — a deterministic way to make
+/// specific cells stall and exercise the quarantine/error-row path
+/// without touching simulator semantics.
+fn injected_stall_budget(victim: Victim) -> Option<u64> {
+    let needle = std::env::var("SLINGSHOT_STALL_VICTIM").ok()?;
+    if !needle.is_empty() && victim.label().contains(&needle) {
+        Some(5_000)
+    } else {
+        None
+    }
+}
+
+/// Run one cell with one victim; returns per-iteration stats, or the
+/// typed simulation error (stall with diagnosis, credit underflow,
+/// matching deadlock) if the run could not complete.
+pub fn try_run_cell(
+    cell: &Cell,
+    victim: Victim,
+    iters: u32,
+    event_budget: u64,
+) -> Result<CellResult, SimError> {
     let machine = machine_for(cell.nodes);
     let net = SystemBuilder::new(System::Custom(machine), cell.profile)
         .seed(cell.seed)
@@ -168,18 +190,27 @@ pub fn run_cell(cell: &Cell, victim: Victim, iters: u32, event_budget: u64) -> C
     let scripts = victim.scripts(ranks, iters, cell.seed);
     let victim_job = eng.add_job(Job::new(victim_nodes), scripts, 0, WARMUP);
 
-    eng.run_to_completion(event_budget);
+    let budget = injected_stall_budget(victim).unwrap_or(event_budget);
+    eng.run_to_completion(budget)?;
 
     let durations = eng.iteration_durations(victim_job);
     assert!(!durations.is_empty(), "victim produced no iterations");
     let mut sample = Sample::from_values(durations.iter().map(|d| d.as_secs_f64()).collect());
-    CellResult {
+    Ok(CellResult {
         mean_secs: sample.mean(),
         median_secs: sample.median(),
         p99_secs: sample.percentile(99.0),
         p95_secs: sample.percentile(95.0),
         iterations: sample.len(),
-    }
+    })
+}
+
+/// [`try_run_cell`] for callers that treat any simulation error as fatal
+/// (unit tests, ablations without a quarantine). Panics with the error's
+/// display — inside [`crate::runner::quarantine_map`] that panic still
+/// becomes a structured error row.
+pub fn run_cell(cell: &Cell, victim: Victim, iters: u32, event_budget: u64) -> CellResult {
+    try_run_cell(cell, victim, iters, event_budget).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Congestion impact `C = Tc / Ti` from a loaded and an isolated result

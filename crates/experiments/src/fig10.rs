@@ -6,8 +6,9 @@
 //! Panel B: the same with 24 aggressor PPN (Aries max 424; Slingshot barely
 //! moves). Panel C: 128 nodes (Aries max drops to ~40, Slingshot to 1.5).
 
-use crate::fig9::{run as run_heatmap, summarize, HeatmapOpts, ImpactSummary};
-use crate::runner;
+use crate::cache::SweepCache;
+use crate::fig9::{run_with as run_heatmap_with, summarize, HeatmapOpts, ImpactSummary};
+use crate::runner::{self, Outcome};
 use crate::scale::Scale;
 use serde::Serialize;
 use slingshot::Profile;
@@ -48,10 +49,17 @@ fn panel_opts(scale: Scale, panel: char) -> (HeatmapOpts, u32) {
     (opts, ppn)
 }
 
+/// Run all three panels without a cell cache (see [`run_with`]).
+pub fn run(scale: Scale) -> Outcome<Vec<Fig10Row>> {
+    run_with(scale, None)
+}
+
 /// Run all three panels. Each (panel, policy) heatmap is independent, so
 /// the 3 × 3 grid fans across the installed worker threads; each grid
-/// point's inner sweep then runs serially on its worker.
-pub fn run(scale: Scale) -> Vec<Fig10Row> {
+/// point's inner sweep then runs serially on its worker. Underlying
+/// heatmap cells run quarantined (and cached, when `cache` is given);
+/// their error rows are merged across the grid.
+pub fn run_with(scale: Scale, cache: Option<&SweepCache>) -> Outcome<Vec<Fig10Row>> {
     let mut grid = Vec::new();
     for panel in ['A', 'B', 'C'] {
         for policy in AllocationPolicy::ALL {
@@ -61,26 +69,45 @@ pub fn run(scale: Scale) -> Vec<Fig10Row> {
     let per_point = runner::par_map(&grid, |&(panel, policy)| {
         let (mut opts, _ppn) = panel_opts(scale, panel);
         opts.policy = policy;
-        let cells = run_heatmap(&opts);
-        [Profile::Aries, Profile::Slingshot].map(|profile| {
-            let name = match profile {
-                Profile::Aries => "Aries",
-                _ => "Slingshot",
-            };
-            let impacts: Vec<f64> = cells
-                .iter()
-                .filter(|c| c.profile == name)
-                .map(|c| c.impact)
-                .collect();
-            Fig10Row {
-                panel,
-                profile: name,
-                policy: policy.label(),
-                summary: summarize(&impacts),
-            }
-        })
+        let heat = run_heatmap_with(&opts, cache);
+        let rows: Vec<Fig10Row> = [Profile::Aries, Profile::Slingshot]
+            .into_iter()
+            .filter_map(|profile| {
+                let name = match profile {
+                    Profile::Aries => "Aries",
+                    _ => "Slingshot",
+                };
+                let impacts: Vec<f64> = heat
+                    .output
+                    .iter()
+                    .filter(|c| c.profile == name)
+                    .map(|c| c.impact)
+                    .collect();
+                // Every cell of this violin failed: its absence is already
+                // recorded as error rows, so don't summarize nothing.
+                if impacts.is_empty() {
+                    return None;
+                }
+                Some(Fig10Row {
+                    panel,
+                    profile: name,
+                    policy: policy.label(),
+                    summary: summarize(&impacts),
+                })
+            })
+            .collect();
+        (rows, heat.failures)
     });
-    per_point.into_iter().flatten().collect()
+    let mut rows = Vec::new();
+    let mut failures = Vec::new();
+    for (point_rows, point_failures) in per_point {
+        rows.extend(point_rows);
+        failures.extend(point_failures);
+    }
+    Outcome {
+        output: rows,
+        failures,
+    }
 }
 
 #[cfg(test)]
@@ -97,7 +124,9 @@ mod tests {
         opts.shares = vec![90];
         opts.policy = AllocationPolicy::Interleaved;
         opts.victims.truncate(5);
-        let cells = run_heatmap(&opts);
+        let out = run_heatmap_with(&opts, None);
+        assert!(!out.failed(), "fault-free sweep has no error rows");
+        let cells = out.output;
         let max_of = |name: &str| -> f64 {
             cells
                 .iter()

@@ -6,8 +6,9 @@
 //! 3.55x (LAMMPS under a 75 % incast); MILC/HPCG cells at 768 victim
 //! nodes are N.A. (power-of-two requirement).
 
-use crate::congestion::{run_cell, Cell, Victim};
-use crate::runner;
+use crate::cache::{CellKey, SweepCache};
+use crate::congestion::{try_run_cell, Cell, Victim};
+use crate::runner::{self, CellFailure, CellMeta, Outcome};
 use crate::scale::Scale;
 use serde::Serialize;
 use slingshot::Profile;
@@ -52,8 +53,16 @@ pub fn victims(scale: Scale) -> Vec<Victim> {
     v
 }
 
-/// Run the figure on the largest system the scale allows.
-pub fn run(scale: Scale) -> Vec<Fig11Row> {
+/// Run the figure without a cell cache (see [`run_with`]).
+pub fn run(scale: Scale) -> Outcome<Vec<Fig11Row>> {
+    run_with(scale, None)
+}
+
+/// Run the figure on the largest system the scale allows. Cells run
+/// quarantined (one stalled or panicking cell yields an error row, the
+/// rest complete); with a cache, previously completed cells are loaded
+/// from disk so a killed sweep resumes where it stopped.
+pub fn run_with(scale: Scale, cache: Option<&SweepCache>) -> Outcome<Vec<Fig11Row>> {
     let nodes = match scale {
         Scale::Tiny => 64,
         Scale::Quick => 128,
@@ -86,19 +95,51 @@ pub fn run(scale: Scale) -> Vec<Fig11Row> {
             }
         }
     }
-    let iso_means = runner::par_map(&iso_points, |&(victim, victim_nodes)| {
-        run_cell(
-            &base_cell(victim_nodes),
-            victim,
-            scale.iterations(),
-            scale.event_budget(),
-        )
-        .mean_secs
-    });
+    let cell_key = |victim: Victim, victim_nodes: u32, aggressor: Option<Congestor>| {
+        CellKey::new("fig11")
+            .field("victim", victim.label())
+            .field("victim_nodes", victim_nodes)
+            .field(
+                "aggressor",
+                aggressor.map_or("none", |a| a.label()).to_string(),
+            )
+            .field("nodes", nodes)
+            .field("iters", scale.iterations())
+            .field("budget", scale.event_budget())
+            .field("seed", 11)
+    };
+    let cell_meta = |victim: Victim, victim_nodes: u32, aggressor: Option<Congestor>| CellMeta {
+        label: format!(
+            "{} @ {} victim nodes vs {}",
+            victim.label(),
+            victim_nodes,
+            aggressor.map_or("isolated", |a| a.label()),
+        ),
+        seed: 11,
+    };
+
+    let iso_results = runner::resumable_map(
+        cache,
+        &iso_points,
+        |&(victim, victim_nodes)| cell_meta(victim, victim_nodes, None),
+        |&(victim, victim_nodes)| cell_key(victim, victim_nodes, None),
+        |&(victim, victim_nodes)| {
+            try_run_cell(
+                &base_cell(victim_nodes),
+                victim,
+                scale.iterations(),
+                scale.event_budget(),
+            )
+            .map(|r| r.mean_secs)
+        },
+    );
+    let (iso_means, mut failures) = runner::split_results(iso_results);
     let isolated: HashMap<(String, u32), f64> = iso_points
         .iter()
         .zip(&iso_means)
-        .map(|(&(victim, victim_nodes), &mean)| ((victim.label(), victim_nodes), mean))
+        .filter_map(|(&(victim, victim_nodes), mean)| {
+            mean.map(|m| ((victim.label(), victim_nodes), m))
+        })
         .collect();
 
     // Loaded cells in the figure's row order.
@@ -111,29 +152,53 @@ pub fn run(scale: Scale) -> Vec<Fig11Row> {
             }
         }
     }
-    let loaded_means = runner::par_map(&loaded_points, |&(_, victim_nodes, victim, aggressor)| {
-        let cell = Cell {
-            aggressor: Some(aggressor),
-            ..base_cell(victim_nodes)
-        };
-        run_cell(&cell, victim, scale.iterations(), scale.event_budget()).mean_secs
-    });
-    loaded_points
+    let loaded_results = runner::resumable_map(
+        cache,
+        &loaded_points,
+        |&(_, victim_nodes, victim, aggressor)| cell_meta(victim, victim_nodes, Some(aggressor)),
+        |&(_, victim_nodes, victim, aggressor)| cell_key(victim, victim_nodes, Some(aggressor)),
+        |&(_, victim_nodes, victim, aggressor)| {
+            let cell = Cell {
+                aggressor: Some(aggressor),
+                ..base_cell(victim_nodes)
+            };
+            try_run_cell(&cell, victim, scale.iterations(), scale.event_budget())
+                .map(|r| r.mean_secs)
+        },
+    );
+    let (loaded_means, loaded_failures) = runner::split_results(loaded_results);
+    failures.extend(loaded_failures);
+    let rows = loaded_points
         .iter()
         .zip(&loaded_means)
-        .map(|(&(share, victim_nodes, victim, aggressor), &mean)| {
+        .filter_map(|(&(share, victim_nodes, victim, aggressor), mean)| {
+            let mean = (*mean)?;
             let rounded = victim.ranks_for(victim_nodes) != victim_nodes
                 && !matches!(victim, Victim::Tail(_));
-            let base = isolated[&(victim.label(), victim_nodes)];
-            Fig11Row {
-                aggressor: aggressor.label(),
-                share,
-                victim: victim.label(),
-                impact: Some(mean / base),
-                rounded,
+            match isolated.get(&(victim.label(), victim_nodes)) {
+                Some(base) => Some(Fig11Row {
+                    aggressor: aggressor.label(),
+                    share,
+                    victim: victim.label(),
+                    impact: Some(mean / base),
+                    rounded,
+                }),
+                None => {
+                    failures.push(CellFailure {
+                        cell: cell_meta(victim, victim_nodes, Some(aggressor)).label,
+                        seed: 11,
+                        error: "isolated baseline unavailable (its cell failed)".into(),
+                        stall: None,
+                    });
+                    None
+                }
             }
         })
-        .collect()
+        .collect();
+    Outcome {
+        output: rows,
+        failures,
+    }
 }
 
 #[cfg(test)]
@@ -142,7 +207,9 @@ mod tests {
 
     #[test]
     fn full_scale_slingshot_stays_protected() {
-        let rows = run(Scale::Tiny);
+        let out = run(Scale::Tiny);
+        assert!(!out.failed(), "fault-free sweep has no error rows");
+        let rows = out.output;
         assert!(!rows.is_empty());
         for r in &rows {
             let impact = r.impact.unwrap();

@@ -10,12 +10,13 @@
 //! behaves like persistent congestion.
 
 use crate::congestion::{machine_for, Victim, WARMUP};
-use crate::runner;
+use crate::runner::{self, CellFailure, CellMeta, Outcome};
 use crate::scale::Scale;
 use serde::Serialize;
 use slingshot::{Profile, System, SystemBuilder};
 use slingshot_des::SimDuration;
 use slingshot_mpi::{Engine, Job, ProtocolStack, Script};
+use slingshot_network::SimError;
 use slingshot_stats::Sample;
 use slingshot_topology::{Allocation, AllocationPolicy};
 use slingshot_workloads::gpcnet::bursty_incast_aggressor;
@@ -51,8 +52,10 @@ pub fn axes(scale: Scale) -> (Vec<u64>, Vec<u64>, Vec<u64>) {
     }
 }
 
-/// Run the sweep.
-pub fn run(scale: Scale) -> Vec<Fig12Row> {
+/// Run the sweep. Each cell runs quarantined; if the isolated baseline
+/// itself fails, no impact can be formed and the whole figure becomes
+/// error rows.
+pub fn run(scale: Scale) -> Outcome<Vec<Fig12Row>> {
     let nodes = scale.congestion_nodes();
     let iters = scale.iterations().max(4);
     let (sizes, bursts, gaps) = axes(scale);
@@ -64,29 +67,75 @@ pub fn run(scale: Scale) -> Vec<Fig12Row> {
             }
         }
     }
-    let (isolated, loaded) = runner::join(
-        || measure(nodes, None, iters, scale),
+    let (iso_results, loaded_results) = runner::join(
         || {
-            runner::par_map(&points, |&(bytes, burst, gap)| {
-                measure(nodes, Some((bytes, burst, gap)), iters, scale)
-            })
+            runner::quarantine_map(
+                &[()],
+                |_| CellMeta {
+                    label: "isolated 128B alltoall baseline".into(),
+                    seed: 12,
+                },
+                |_| measure(nodes, None, iters, scale),
+            )
+        },
+        || {
+            runner::quarantine_map(
+                &points,
+                |&(bytes, burst, gap)| CellMeta {
+                    label: format!(
+                        "bursty incast {} burst={burst} gap={gap}us",
+                        crate::report::fmt_bytes(bytes)
+                    ),
+                    seed: 12,
+                },
+                |&(bytes, burst, gap)| measure(nodes, Some((bytes, burst, gap)), iters, scale),
+            )
         },
     );
-    points
+    let (iso, mut failures) = runner::split_results(iso_results);
+    let (loaded, loaded_failures) = runner::split_results(loaded_results);
+    failures.extend(loaded_failures);
+    let Some(isolated) = iso.into_iter().next().flatten() else {
+        failures.push(CellFailure {
+            cell: "all loaded cells".into(),
+            seed: 12,
+            error: format!(
+                "isolated baseline failed; {} completed cells dropped (no impact denominator)",
+                loaded.iter().flatten().count()
+            ),
+            stall: None,
+        });
+        return Outcome {
+            output: Vec::new(),
+            failures,
+        };
+    };
+    let rows = points
         .iter()
         .zip(&loaded)
-        .map(|(&(bytes, burst, gap), &time)| Fig12Row {
-            aggressor_bytes: bytes,
-            burst_size: burst,
-            gap_us: gap,
-            impact: time / isolated,
+        .filter_map(|(&(bytes, burst, gap), time)| {
+            time.map(|time| Fig12Row {
+                aggressor_bytes: bytes,
+                burst_size: burst,
+                gap_us: gap,
+                impact: time / isolated,
+            })
         })
-        .collect()
+        .collect();
+    Outcome {
+        output: rows,
+        failures,
+    }
 }
 
 /// Mean victim iteration time with an optional bursty aggressor
 /// `(bytes, burst, gap_us)`.
-fn measure(nodes: u32, aggressor: Option<(u64, u64, u64)>, iters: u32, scale: Scale) -> f64 {
+fn measure(
+    nodes: u32,
+    aggressor: Option<(u64, u64, u64)>,
+    iters: u32,
+    scale: Scale,
+) -> Result<f64, SimError> {
     let machine = machine_for(nodes);
     let net = SystemBuilder::new(System::Custom(machine), Profile::Slingshot)
         .seed(12)
@@ -101,14 +150,14 @@ fn measure(nodes: u32, aggressor: Option<(u64, u64, u64)>, iters: u32, scale: Sc
     let ranks = alloc.victim.len() as u32;
     let scripts: Vec<Script> = Victim::Micro(Microbench::Alltoall, 128).scripts(ranks, iters, 12);
     let job = eng.add_job(Job::new(alloc.victim.clone()), scripts, 0, WARMUP);
-    eng.run_to_completion(scale.event_budget());
+    eng.run_to_completion(scale.event_budget())?;
     let s = Sample::from_values(
         eng.iteration_durations(job)
             .iter()
             .map(|d| d.as_secs_f64())
             .collect(),
     );
-    s.mean()
+    Ok(s.mean())
 }
 
 #[cfg(test)]
@@ -117,7 +166,9 @@ mod tests {
 
     #[test]
     fn bursty_impact_is_bounded_on_slingshot() {
-        let rows = run(Scale::Tiny);
+        let out = run(Scale::Tiny);
+        assert!(!out.failed(), "fault-free sweep has no error rows");
+        let rows = out.output;
         assert!(!rows.is_empty());
         for r in &rows {
             // The paper's worst bursty cell is 1.21x — allow up to 2x for
@@ -134,7 +185,7 @@ mod tests {
 
     #[test]
     fn long_bursts_hurt_at_least_as_much_as_short_ones() {
-        let rows = run(Scale::Tiny);
+        let rows = run(Scale::Tiny).output;
         let impact = |burst: u64, gap: u64| -> f64 {
             rows.iter()
                 .find(|r| r.burst_size == burst && r.gap_us == gap)

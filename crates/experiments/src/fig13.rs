@@ -7,7 +7,7 @@
 //! class only ~1.15x.
 
 use crate::congestion::machine_for;
-use crate::runner;
+use crate::runner::{self, Outcome};
 use crate::scale::Scale;
 use serde::Serialize;
 use slingshot::{Profile, System, SystemBuilder};
@@ -134,8 +134,10 @@ fn run_case(scale: Scale, same_class: bool, with_alltoall: bool) -> RunOutput {
 }
 
 /// Run both cases; impacts are normalized by the pre-alltoall (quiet)
-/// iteration mean of each case.
-pub fn run(scale: Scale) -> Vec<Fig13Row> {
+/// iteration mean of each case. The cases run to a fixed horizon rather
+/// than a budget-bounded quiescence, so the figure cannot stall and the
+/// `Outcome` is always failure-free.
+pub fn run(scale: Scale) -> Outcome<Vec<Fig13Row>> {
     let cases = [true, false];
     let per_case = runner::par_map(&cases, |&same_class| {
         let out = run_case(scale, same_class, true);
@@ -166,7 +168,7 @@ pub fn run(scale: Scale) -> Vec<Fig13Row> {
             })
             .collect::<Vec<_>>()
     });
-    per_case.into_iter().flatten().collect()
+    Outcome::ok(per_case.into_iter().flatten().collect())
 }
 
 #[cfg(test)]
@@ -175,7 +177,7 @@ mod tests {
 
     #[test]
     fn separate_classes_isolate_the_allreduce() {
-        let rows = run(Scale::Tiny);
+        let rows = run(Scale::Tiny).output;
         let after = |same: bool| -> f64 {
             let v: Vec<f64> = rows
                 .iter()

@@ -6,7 +6,7 @@
 //! both the direct model distribution and the paper's differential
 //! measurement methodology on the simulated network.
 
-use crate::runner;
+use crate::runner::{self, Outcome};
 use crate::scale::Scale;
 use serde::Serialize;
 use slingshot::{Profile, System, SystemBuilder};
@@ -46,13 +46,14 @@ fn samples_for(scale: Scale) -> usize {
 
 /// Run the figure. The direct model distribution and the differential
 /// network measurement are independent (separate RNG streams), so they
-/// run as a parallel pair.
-pub fn run(scale: Scale) -> Fig2Result {
+/// run as a parallel pair. The figure has no budget-bounded quiescence
+/// run, so it cannot stall; the `Outcome` is always failure-free.
+pub fn run(scale: Scale) -> Outcome<Fig2Result> {
     let ((hist, mut sample), differential_ns) = runner::join(
         || direct_distribution(scale),
         || differential_switch_latency(scale),
     );
-    Fig2Result {
+    Outcome::ok(Fig2Result {
         density: hist.density(),
         mean_ns: sample.mean(),
         median_ns: sample.median(),
@@ -60,7 +61,7 @@ pub fn run(scale: Scale) -> Fig2Result {
         p99_ns: sample.percentile(99.0),
         bulk_fraction: hist.mass_between(300.0, 400.0),
         differential_ns,
-    }
+    })
 }
 
 /// Direct distribution of the calibrated latency model over random port
@@ -137,7 +138,7 @@ mod tests {
 
     #[test]
     fn distribution_matches_paper() {
-        let r = run(Scale::Tiny);
+        let r = run(Scale::Tiny).output;
         assert!((330.0..=370.0).contains(&r.mean_ns), "mean {}", r.mean_ns);
         assert!(
             (330.0..=370.0).contains(&r.median_ns),
@@ -150,7 +151,7 @@ mod tests {
 
     #[test]
     fn differential_methodology_recovers_switch_latency() {
-        let r = run(Scale::Tiny);
+        let r = run(Scale::Tiny).output;
         // One extra traversal + one local-copper propagation (~13 ns):
         // expect ~350-380 ns, matching the model mean within jitter.
         assert!(

@@ -5,12 +5,13 @@
 //! worst-case ~40 % latency penalty at 8 B, < 10-15 % differences beyond
 //! 16 KiB, and occasionally *higher* bandwidth across groups (more paths).
 
-use crate::runner;
+use crate::runner::{self, CellMeta, Outcome};
 use crate::scale::Scale;
 use serde::Serialize;
 use slingshot::{Profile, System, SystemBuilder};
 use slingshot_des::SimTime;
 use slingshot_mpi::{Engine, Job, MpiOp, ProtocolStack, Script};
+use slingshot_network::SimError;
 use slingshot_stats::{BoxSummary, Sample};
 use slingshot_topology::{malbec, NodeId};
 
@@ -70,8 +71,10 @@ pub struct Fig4Row {
 /// The message sizes of the figure.
 pub const SIZES: [u64; 4] = [8, 1 << 10, 128 << 10, 4 << 20];
 
-/// Run the figure on an isolated Malbec.
-pub fn run(scale: Scale) -> Vec<Fig4Row> {
+/// Run the figure on an isolated Malbec. Each (distance, size) point runs
+/// quarantined: a stalled or panicking point becomes an error row while
+/// the others complete.
+pub fn run(scale: Scale) -> Outcome<Vec<Fig4Row>> {
     let iters = match scale {
         Scale::Tiny => 5,
         Scale::Quick => 30,
@@ -81,12 +84,22 @@ pub fn run(scale: Scale) -> Vec<Fig4Row> {
         .into_iter()
         .flat_map(|d| SIZES.into_iter().map(move |b| (d, b)))
         .collect();
-    runner::par_map(&points, |&(distance, bytes)| {
-        measure(distance, bytes, iters)
-    })
+    let results = runner::quarantine_map(
+        &points,
+        |&(distance, bytes)| CellMeta {
+            label: format!("{} {}", distance.label(), crate::report::fmt_bytes(bytes)),
+            seed: 4,
+        },
+        |&(distance, bytes)| measure(distance, bytes, iters),
+    );
+    let (rows, failures) = runner::split_results(results);
+    Outcome {
+        output: rows.into_iter().flatten().collect(),
+        failures,
+    }
 }
 
-fn measure(distance: Distance, bytes: u64, iters: u32) -> Fig4Row {
+fn measure(distance: Distance, bytes: u64, iters: u32) -> Result<Fig4Row, SimError> {
     let net = SystemBuilder::new(System::Custom(malbec()), Profile::Slingshot)
         .seed(4)
         .build();
@@ -111,17 +124,17 @@ fn measure(distance: Distance, bytes: u64, iters: u32) -> Fig4Row {
     }
     s0.push(MpiOp::Mark(iters));
     let job = eng.add_job(Job::new(vec![a, b]), vec![s0, s1], 0, SimTime::ZERO);
-    eng.run_to_completion(2_000_000_000);
+    eng.run_to_completion(2_000_000_000)?;
     let rtts = eng.iteration_durations(job);
     let mut half_us = Sample::from_values(rtts.iter().map(|d| d.as_us_f64() / 2.0).collect());
     let latency_us = half_us.box_summary();
     let bandwidth_gbps = (bytes * 8) as f64 / (latency_us.median * 1_000.0);
-    Fig4Row {
+    Ok(Fig4Row {
         distance,
         bytes,
         latency_us,
         bandwidth_gbps,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -130,7 +143,9 @@ mod tests {
 
     #[test]
     fn shape_matches_paper() {
-        let rows = run(Scale::Tiny);
+        let out = run(Scale::Tiny);
+        assert!(!out.failed(), "fault-free sweep has no error rows");
+        let rows = out.output;
         assert_eq!(rows.len(), 12);
 
         let get = |d: Distance, b: u64| -> &Fig4Row {

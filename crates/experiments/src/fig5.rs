@@ -5,12 +5,13 @@
 //! ~3.3 µs TCP at 8 B); large messages converge toward wire bandwidth,
 //! with the kernel stacks penalized by their memory copies.
 
-use crate::runner;
+use crate::runner::{self, CellMeta, Outcome};
 use crate::scale::Scale;
 use serde::Serialize;
 use slingshot::{Profile, System, SystemBuilder};
 use slingshot_des::SimTime;
 use slingshot_mpi::{Engine, Job, MpiOp, ProtocolStack, Script};
+use slingshot_network::SimError;
 use slingshot_stats::Sample;
 use slingshot_topology::NodeId;
 
@@ -44,8 +45,9 @@ pub fn sizes(scale: Scale) -> Vec<u64> {
     }
 }
 
-/// Run the figure.
-pub fn run(scale: Scale) -> Vec<Fig5Row> {
+/// Run the figure. Each (stack, size) point runs quarantined: a stalled
+/// or panicking point becomes an error row while the others complete.
+pub fn run(scale: Scale) -> Outcome<Vec<Fig5Row>> {
     let iters = match scale {
         Scale::Tiny => 4,
         Scale::Quick => 20,
@@ -55,14 +57,33 @@ pub fn run(scale: Scale) -> Vec<Fig5Row> {
         .into_iter()
         .flat_map(|stack| sizes(scale).into_iter().map(move |bytes| (stack, bytes)))
         .collect();
-    runner::par_map(&points, |&(stack, bytes)| Fig5Row {
-        stack: stack.name,
-        bytes,
-        half_rtt_us: median_half_rtt(stack, bytes, iters),
-    })
+    let results = runner::quarantine_map(
+        &points,
+        |&(stack, bytes)| CellMeta {
+            label: format!("{} {}", stack.name, crate::report::fmt_bytes(bytes)),
+            seed: 5,
+        },
+        |&(stack, bytes)| median_half_rtt(stack, bytes, iters),
+    );
+    let (medians, failures) = runner::split_results(results);
+    let rows = points
+        .iter()
+        .zip(medians)
+        .filter_map(|(&(stack, bytes), median)| {
+            median.map(|half_rtt_us| Fig5Row {
+                stack: stack.name,
+                bytes,
+                half_rtt_us,
+            })
+        })
+        .collect();
+    Outcome {
+        output: rows,
+        failures,
+    }
 }
 
-fn median_half_rtt(stack: ProtocolStack, bytes: u64, iters: u32) -> f64 {
+fn median_half_rtt(stack: ProtocolStack, bytes: u64, iters: u32) -> Result<f64, SimError> {
     // Adjacent-switch node pair on a quiet system (the measurement setup
     // of the paper's Fig. 5).
     let net = SystemBuilder::new(
@@ -96,14 +117,14 @@ fn median_half_rtt(stack: ProtocolStack, bytes: u64, iters: u32) -> f64 {
         0,
         SimTime::ZERO,
     );
-    eng.run_to_completion(4_000_000_000);
+    eng.run_to_completion(4_000_000_000)?;
     let mut sample = Sample::from_values(
         eng.iteration_durations(job)
             .iter()
             .map(|d| d.as_us_f64() / 2.0)
             .collect(),
     );
-    sample.median()
+    Ok(sample.median())
 }
 
 #[cfg(test)]
@@ -112,7 +133,9 @@ mod tests {
 
     #[test]
     fn small_message_ordering_matches_paper() {
-        let rows = run(Scale::Tiny);
+        let out = run(Scale::Tiny);
+        assert!(!out.failed(), "fault-free sweep has no error rows");
+        let rows = out.output;
         let at = |stack: &str, bytes: u64| -> f64 {
             rows.iter()
                 .find(|r| r.stack == stack && r.bytes == bytes)
@@ -135,7 +158,7 @@ mod tests {
 
     #[test]
     fn large_messages_converge_but_kernel_copies_cost() {
-        let rows = run(Scale::Tiny);
+        let rows = run(Scale::Tiny).output;
         let at = |stack: &str, bytes: u64| -> f64 {
             rows.iter()
                 .find(|r| r.stack == stack && r.bytes == bytes)

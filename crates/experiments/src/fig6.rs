@@ -7,12 +7,13 @@
 //! for large messages and a throughput dip at 256 B where the MPI
 //! algorithm switches from Bruck to pairwise.
 
-use crate::runner;
+use crate::runner::{self, CellMeta, Outcome};
 use crate::scale::Scale;
 use serde::Serialize;
 use slingshot::{Profile, System, SystemBuilder};
 use slingshot_des::{SimDuration, SimTime};
 use slingshot_mpi::{coll, Engine, Job, MpiOp, ProtocolStack, Script};
+use slingshot_network::SimError;
 use slingshot_topology::{shandy_scaled, DragonflyParams, NodeId};
 
 /// One measured point.
@@ -66,8 +67,9 @@ pub fn sizes(scale: Scale) -> Vec<u64> {
     }
 }
 
-/// Run the figure.
-pub fn run(scale: Scale) -> Fig6Result {
+/// Run the figure. Each bandwidth point runs quarantined: a stalled or
+/// panicking point becomes an error row while the others complete.
+pub fn run(scale: Scale) -> Outcome<Fig6Result> {
     let params = shandy_scaled(scale.shandy_groups());
     let nodes = params.total_nodes();
     let (theo_bis, theo_a2a) = theoretical_gbps(&params, 200.0);
@@ -78,35 +80,75 @@ pub fn run(scale: Scale) -> Fig6Result {
     };
     let a2a_sizes = sizes(scale);
     let bis_sizes: Vec<u64> = a2a_sizes.iter().copied().filter(|&b| b >= 256).collect();
-    let (mut rows, bis_rows) = runner::join(
+    let (a2a_results, bis_results) = runner::join(
         || {
-            runner::par_map(&a2a_sizes, |&bytes| Fig6Row {
-                series: format!("alltoall ppn={ppn}"),
-                bytes,
-                gbps: alltoall_gbps(params, bytes, ppn, scale),
-            })
+            runner::quarantine_map(
+                &a2a_sizes,
+                |&bytes| CellMeta {
+                    label: format!("alltoall ppn={ppn} {}", crate::report::fmt_bytes(bytes)),
+                    seed: 6,
+                },
+                |&bytes| try_alltoall_gbps(params, bytes, ppn, scale),
+            )
         },
         || {
-            runner::par_map(&bis_sizes, |&bytes| Fig6Row {
-                series: "bisection".to_string(),
-                bytes,
-                gbps: bisection_gbps(params, bytes, scale),
-            })
+            runner::quarantine_map(
+                &bis_sizes,
+                |&bytes| CellMeta {
+                    label: format!("bisection {}", crate::report::fmt_bytes(bytes)),
+                    seed: 66,
+                },
+                |&bytes| try_bisection_gbps(params, bytes, scale),
+            )
         },
     );
-    rows.extend(bis_rows);
-    Fig6Result {
-        groups: params.groups,
-        nodes,
-        theoretical_bisection_gbps: theo_bis,
-        theoretical_alltoall_gbps: theo_a2a,
-        rows,
+    let (a2a_gbps, mut failures) = runner::split_results(a2a_results);
+    let (bis_gbps, bis_failures) = runner::split_results(bis_results);
+    failures.extend(bis_failures);
+    let mut rows: Vec<Fig6Row> = a2a_sizes
+        .iter()
+        .zip(a2a_gbps)
+        .filter_map(|(&bytes, gbps)| {
+            gbps.map(|gbps| Fig6Row {
+                series: format!("alltoall ppn={ppn}"),
+                bytes,
+                gbps,
+            })
+        })
+        .collect();
+    rows.extend(bis_sizes.iter().zip(bis_gbps).filter_map(|(&bytes, gbps)| {
+        gbps.map(|gbps| Fig6Row {
+            series: "bisection".to_string(),
+            bytes,
+            gbps,
+        })
+    }));
+    Outcome {
+        output: Fig6Result {
+            groups: params.groups,
+            nodes,
+            theoretical_bisection_gbps: theo_bis,
+            theoretical_alltoall_gbps: theo_a2a,
+            rows,
+        },
+        failures,
     }
 }
 
 /// Aggregate all-to-all bandwidth: total exchanged payload over the
-/// collective's completion time.
+/// collective's completion time. Panics on a simulation error — callers
+/// that isolate failures use [`try_alltoall_gbps`].
 pub fn alltoall_gbps(params: DragonflyParams, bytes: u64, ppn: u32, scale: Scale) -> f64 {
+    try_alltoall_gbps(params, bytes, ppn, scale).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`alltoall_gbps`] returning the typed simulation error.
+pub fn try_alltoall_gbps(
+    params: DragonflyParams,
+    bytes: u64,
+    ppn: u32,
+    scale: Scale,
+) -> Result<f64, SimError> {
     let net = SystemBuilder::new(System::Custom(params), Profile::Slingshot)
         .seed(6)
         .build();
@@ -119,15 +161,26 @@ pub fn alltoall_gbps(params: DragonflyParams, bytes: u64, ppn: u32, scale: Scale
         .map(Script::from_ops)
         .collect();
     let id = eng.add_job(job, scripts, 0, SimTime::ZERO);
-    eng.run_to_completion(scale.event_budget());
+    eng.run_to_completion(scale.event_budget())?;
     let dur = eng.job_duration(id).expect("alltoall finished");
     let total_payload = n as u64 * (n as u64 - 1) * bytes;
-    total_payload as f64 * 8.0 / dur.as_ns_f64()
+    Ok(total_payload as f64 * 8.0 / dur.as_ns_f64())
 }
 
 /// Aggregate bisection bandwidth: every node pairs with its mirror in the
 /// other half; both stream a fixed volume; bandwidth = volume / time.
+/// Panics on a simulation error — callers that isolate failures use
+/// [`try_bisection_gbps`].
 pub fn bisection_gbps(params: DragonflyParams, msg_bytes: u64, scale: Scale) -> f64 {
+    try_bisection_gbps(params, msg_bytes, scale).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`bisection_gbps`] returning the typed simulation error.
+pub fn try_bisection_gbps(
+    params: DragonflyParams,
+    msg_bytes: u64,
+    scale: Scale,
+) -> Result<f64, SimError> {
     let net = SystemBuilder::new(System::Custom(params), Profile::Slingshot)
         .seed(66)
         .build();
@@ -155,10 +208,10 @@ pub fn bisection_gbps(params: DragonflyParams, msg_bytes: u64, scale: Scale) -> 
     }
     let nodes: Vec<NodeId> = (0..n).map(NodeId).collect();
     let id = eng.add_job(Job::new(nodes), scripts, 0, SimTime::ZERO);
-    eng.run_to_completion(scale.event_budget());
+    eng.run_to_completion(scale.event_budget())?;
     let dur: SimDuration = eng.job_duration(id).expect("bisection finished");
     let total = n as u64 * messages * msg_bytes;
-    total as f64 * 8.0 / dur.as_ns_f64()
+    Ok(total as f64 * 8.0 / dur.as_ns_f64())
 }
 
 #[cfg(test)]

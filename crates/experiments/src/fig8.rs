@@ -7,11 +7,12 @@
 //! computation ratio is tiny; tails (95p/99p) stretch most on Aries.
 
 use crate::congestion::{machine_for, WARMUP};
-use crate::runner;
+use crate::runner::{self, CellMeta, Outcome};
 use crate::scale::Scale;
 use serde::Serialize;
 use slingshot::{Profile, System, SystemBuilder};
 use slingshot_mpi::{Engine, Job, ProtocolStack};
+use slingshot_network::SimError;
 use slingshot_stats::Sample;
 use slingshot_topology::{Allocation, AllocationPolicy};
 
@@ -59,8 +60,10 @@ pub fn sphinx_service_scale(scale: Scale) -> f64 {
     }
 }
 
-/// Run the figure.
-pub fn run(scale: Scale) -> Vec<Fig8Row> {
+/// Run the figure. Each (app, profile, congestion) point runs
+/// quarantined: a stalled or panicking point becomes an error row while
+/// the others complete.
+pub fn run(scale: Scale) -> Outcome<Vec<Fig8Row>> {
     let apps: &[TailApp] = match scale {
         Scale::Tiny => &[TailApp::Silo, TailApp::ImgDnn],
         _ => &TailApp::ALL,
@@ -73,12 +76,35 @@ pub fn run(scale: Scale) -> Vec<Fig8Row> {
             }
         }
     }
-    runner::par_map(&points, |&(app, profile, congested)| {
-        measure(app, profile, congested, scale)
-    })
+    let results = runner::quarantine_map(
+        &points,
+        |&(app, profile, congested)| CellMeta {
+            label: format!(
+                "{} on {} ({})",
+                app.label(),
+                match profile {
+                    Profile::Aries => "Aries",
+                    _ => "Slingshot",
+                },
+                if congested { "congested" } else { "idle" },
+            ),
+            seed: 8,
+        },
+        |&(app, profile, congested)| measure(app, profile, congested, scale),
+    );
+    let (rows, failures) = runner::split_results(results);
+    Outcome {
+        output: rows.into_iter().flatten().collect(),
+        failures,
+    }
 }
 
-fn measure(app: TailApp, profile: Profile, congested: bool, scale: Scale) -> Fig8Row {
+fn measure(
+    app: TailApp,
+    profile: Profile,
+    congested: bool,
+    scale: Scale,
+) -> Result<Fig8Row, SimError> {
     let nodes = scale.congestion_nodes();
     let machine = machine_for(nodes);
     let net = SystemBuilder::new(System::Custom(machine), profile)
@@ -110,7 +136,7 @@ fn measure(app: TailApp, profile: Profile, congested: bool, scale: Scale) -> Fig
     };
     let (c, s) = app.scripts_scaled(scale.tail_requests(), 8, service_scale);
     let job = eng.add_job(Job::new(vec![client, server]), vec![c, s], 0, WARMUP);
-    eng.run_to_completion(scale.event_budget());
+    eng.run_to_completion(scale.event_budget())?;
 
     let mut lat = Sample::from_values(
         eng.iteration_durations(job)
@@ -118,7 +144,7 @@ fn measure(app: TailApp, profile: Profile, congested: bool, scale: Scale) -> Fig
             .map(|d| d.as_ms_f64())
             .collect(),
     );
-    Fig8Row {
+    Ok(Fig8Row {
         app: app.label(),
         profile: match profile {
             Profile::Aries => "Aries",
@@ -130,7 +156,7 @@ fn measure(app: TailApp, profile: Profile, congested: bool, scale: Scale) -> Fig
         p95_ms: lat.percentile(95.0),
         p99_ms: lat.percentile(99.0),
         requests: lat.len(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -139,7 +165,9 @@ mod tests {
 
     #[test]
     fn aries_degrades_slingshot_does_not() {
-        let rows = run(Scale::Tiny);
+        let out = run(Scale::Tiny);
+        assert!(!out.failed(), "fault-free sweep has no error rows");
+        let rows = out.output;
         let find = |app: &str, profile: &str, congested: bool| -> &Fig8Row {
             rows.iter()
                 .find(|r| r.app == app && r.profile == profile && r.congested == congested)
@@ -168,7 +196,7 @@ mod tests {
 
     #[test]
     fn tails_exceed_medians() {
-        let rows = run(Scale::Tiny);
+        let rows = run(Scale::Tiny).output;
         for r in &rows {
             assert!(r.p99_ms >= r.p95_ms);
             assert!(r.p95_ms >= r.median_ms * 0.99);

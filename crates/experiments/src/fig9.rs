@@ -7,8 +7,9 @@
 //! damaging pattern, all-to-all is routed around; impact grows with the
 //! aggressor share and hits small messages hardest.
 
-use crate::congestion::{default_victims, run_cell, Cell, Victim};
-use crate::runner;
+use crate::cache::{CellKey, SweepCache};
+use crate::congestion::{default_victims, try_run_cell, Cell, Victim};
+use crate::runner::{self, CellFailure, CellMeta, Outcome};
 use crate::scale::Scale;
 use serde::Serialize;
 use slingshot::Profile;
@@ -91,11 +92,19 @@ fn profile_name(profile: Profile) -> &'static str {
     }
 }
 
+/// Run the heatmap sweep without a cell cache (see [`run_with`]).
+pub fn run(opts: &HeatmapOpts) -> Outcome<Vec<HeatmapCell>> {
+    run_with(opts, None)
+}
+
 /// Run the heatmap sweep: every isolated baseline first (they are shared
 /// across aggressor patterns), then every loaded cell, each phase fanned
 /// across the installed worker threads. Cell order matches the serial
-/// sweep exactly.
-pub fn run(opts: &HeatmapOpts) -> Vec<HeatmapCell> {
+/// sweep exactly. Each cell runs quarantined — a stalled or panicking
+/// cell becomes an error row while the rest complete — and, with a
+/// cache, cells completed by a previous (possibly killed) run are
+/// served from disk instead of recomputed.
+pub fn run_with(opts: &HeatmapOpts, cache: Option<&SweepCache>) -> Outcome<Vec<HeatmapCell>> {
     // The victim must span at least two switches (at paper scale a 10 %
     // victim covers ~4 switches; keep that property when the machine is
     // scaled down).
@@ -120,14 +129,49 @@ pub fn run(opts: &HeatmapOpts) -> Vec<HeatmapCell> {
             }
         }
     }
-    let iso_means = runner::par_map(&iso_points, |&(profile, share, victim)| {
-        run_cell(&cell(profile, share, None), victim, opts.iters, opts.budget).mean_secs
-    });
+    let cell_key = |profile, share, victim: Victim, aggressor: Option<Congestor>| {
+        CellKey::new("fig9")
+            .field("profile", profile_name(profile))
+            .field("share", share)
+            .field("victim", victim.label())
+            .field(
+                "aggressor",
+                aggressor.map_or("none", |a| a.label()).to_string(),
+            )
+            .field("nodes", opts.nodes)
+            .field("policy", format!("{:?}", opts.policy))
+            .field("ppn", opts.aggressor_ppn)
+            .field("iters", opts.iters)
+            .field("budget", opts.budget)
+            .field("seed", opts.seed)
+    };
+    let cell_meta = |profile, share, victim: Victim, aggressor: Option<Congestor>| CellMeta {
+        label: format!(
+            "{} {}% {} vs {}",
+            profile_name(profile),
+            share,
+            victim.label(),
+            aggressor.map_or("isolated", |a| a.label()),
+        ),
+        seed: opts.seed,
+    };
+
+    let iso_results = runner::resumable_map(
+        cache,
+        &iso_points,
+        |&(profile, share, victim)| cell_meta(profile, share, victim, None),
+        |&(profile, share, victim)| cell_key(profile, share, victim, None),
+        |&(profile, share, victim)| {
+            try_run_cell(&cell(profile, share, None), victim, opts.iters, opts.budget)
+                .map(|r| r.mean_secs)
+        },
+    );
+    let (iso_means, mut failures) = runner::split_results(iso_results);
     let isolated: HashMap<(&'static str, u32, String), f64> = iso_points
         .iter()
         .zip(&iso_means)
-        .map(|(&(profile, share, victim), &mean)| {
-            ((profile_name(profile), share, victim.label()), mean)
+        .filter_map(|(&(profile, share, victim), mean)| {
+            mean.map(|m| ((profile_name(profile), share, victim.label()), m))
         })
         .collect();
 
@@ -142,29 +186,55 @@ pub fn run(opts: &HeatmapOpts) -> Vec<HeatmapCell> {
             }
         }
     }
-    let loaded_means = runner::par_map(&loaded_points, |&(profile, share, aggressor, victim)| {
-        run_cell(
-            &cell(profile, share, Some(aggressor)),
-            victim,
-            opts.iters,
-            opts.budget,
-        )
-        .mean_secs
-    });
-    loaded_points
+    let loaded_results = runner::resumable_map(
+        cache,
+        &loaded_points,
+        |&(profile, share, aggressor, victim)| cell_meta(profile, share, victim, Some(aggressor)),
+        |&(profile, share, aggressor, victim)| cell_key(profile, share, victim, Some(aggressor)),
+        |&(profile, share, aggressor, victim)| {
+            try_run_cell(
+                &cell(profile, share, Some(aggressor)),
+                victim,
+                opts.iters,
+                opts.budget,
+            )
+            .map(|r| r.mean_secs)
+        },
+    );
+    let (loaded_means, loaded_failures) = runner::split_results(loaded_results);
+    failures.extend(loaded_failures);
+    let rows = loaded_points
         .iter()
         .zip(&loaded_means)
-        .map(|(&(profile, share, aggressor, victim), &mean)| {
-            let base = isolated[&(profile_name(profile), share, victim.label())];
-            HeatmapCell {
-                profile: profile_name(profile),
-                aggressor: aggressor.label(),
-                aggressor_share: share,
-                victim: victim.label(),
-                impact: mean / base,
+        .filter_map(|(&(profile, share, aggressor, victim), mean)| {
+            let mean = (*mean)?;
+            match isolated.get(&(profile_name(profile), share, victim.label())) {
+                Some(base) => Some(HeatmapCell {
+                    profile: profile_name(profile),
+                    aggressor: aggressor.label(),
+                    aggressor_share: share,
+                    victim: victim.label(),
+                    impact: mean / base,
+                }),
+                None => {
+                    // The loaded cell finished but its isolated baseline
+                    // failed: no impact can be formed, so the row becomes
+                    // an error row too.
+                    failures.push(CellFailure {
+                        cell: cell_meta(profile, share, victim, Some(aggressor)).label,
+                        seed: opts.seed,
+                        error: "isolated baseline unavailable (its cell failed)".into(),
+                        stall: None,
+                    });
+                    None
+                }
             }
         })
-        .collect()
+        .collect();
+    Outcome {
+        output: rows,
+        failures,
+    }
 }
 
 /// Summary statistics over a set of heatmap cells (used by Fig. 10's
@@ -214,7 +284,9 @@ mod tests {
             budget: 500_000_000,
             seed: 42,
         };
-        let cells = run(&opts);
+        let out = run(&opts);
+        assert!(!out.failed(), "fault-free sweep has no error rows");
+        let cells = out.output;
         assert_eq!(cells.len(), 2 * 2 * 2); // profiles × aggressors × victims
         let max_by = |profile: &str, aggr: &str| -> f64 {
             cells

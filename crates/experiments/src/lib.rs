@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod cache;
 pub mod congestion;
 pub mod fig10;
 pub mod fig11;
@@ -30,8 +31,10 @@ pub mod resilience;
 pub mod runner;
 pub mod scale;
 
+pub use cache::{CacheValue, CellKey, SweepCache};
 pub use congestion::{
-    congestion_impact, default_victims, machine_for, paper_victim_splits, run_cell, run_pair, Cell,
-    CellResult, Victim,
+    congestion_impact, default_victims, machine_for, paper_victim_splits, run_cell, run_pair,
+    try_run_cell, Cell, CellResult, Victim,
 };
+pub use runner::{CellFailure, CellMeta, Outcome};
 pub use scale::{RunConfig, Scale};

@@ -153,6 +153,32 @@ pub fn print_kernel_stats() {
     eprintln!("  event-queue high water {:>16}", k.queue_hwm);
 }
 
+/// Print failed sweep cells as an error table, persist them to
+/// `results/<name>_errors.json`, and return whether there were any.
+/// Callers exit non-zero on `true`. Fault-free sweeps print nothing and
+/// write nothing, so the primary `<name>.json` stays byte-identical to
+/// the pre-quarantine harness.
+pub fn report_failures(name: &str, failures: &[crate::runner::CellFailure]) -> bool {
+    if failures.is_empty() {
+        return false;
+    }
+    println!();
+    println!("FAILED CELLS ({})", failures.len());
+    let mut t = Table::new(["cell", "seed", "error"]);
+    for f in failures {
+        t.row([f.cell.clone(), f.seed.to_string(), f.error.clone()]);
+    }
+    t.print();
+    for f in failures {
+        if let Some(stall) = &f.stall {
+            eprintln!("stall diagnosis for {} (seed {}):", f.cell, f.seed);
+            eprintln!("{stall}");
+        }
+    }
+    save_json(&format!("{name}_errors"), &failures);
+    true
+}
+
 /// Check whether `path` exists under the results dir (test helper).
 pub fn result_exists(name: &str) -> bool {
     Path::new(&results_dir())

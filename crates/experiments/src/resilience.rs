@@ -17,12 +17,12 @@
 //! fault mode": that row takes the exact fault-free code path, so the
 //! baseline is byte-identical to a run without any fault machinery.
 
-use crate::runner;
+use crate::runner::{self, CellMeta, Outcome};
 use crate::scale::Scale;
 use serde::Serialize;
 use slingshot_des::{SimDuration, SimTime};
 use slingshot_faults::{FaultConfig, FaultRates, FaultSchedule};
-use slingshot_network::{FaultStats, Network, NetworkConfig, Notification};
+use slingshot_network::{FaultStats, Network, NetworkConfig, Notification, SimError};
 use slingshot_topology::{shandy_scaled, tiny, DragonflyParams, NodeId};
 
 /// Fault-rate multipliers swept by the figure (0 = fault-free baseline).
@@ -157,7 +157,7 @@ fn checkpoint(net: &Network, t_ns: u64) -> TimelinePoint {
 
 /// Simulate one fault intensity. `idx` seeds the schedule, so every cell
 /// of the sweep draws an independent scenario.
-fn simulate(scale: Scale, idx: usize, intensity: f64) -> ResilienceRow {
+fn simulate(scale: Scale, idx: usize, intensity: f64) -> Result<ResilienceRow, SimError> {
     let params = topology_for(scale);
     let (n_channels, n_switches) = {
         let topo = params.build();
@@ -207,7 +207,7 @@ fn simulate(scale: Scale, idx: usize, intensity: f64) -> ResilienceRow {
             break;
         }
     }
-    net.run_to_quiescence(scale.event_budget());
+    net.run_to_quiescence(scale.event_budget())?;
     drain(&mut net, &mut delivered_messages, &mut last_delivery);
     timeline.push(checkpoint(&net, net.now().as_ns()));
 
@@ -227,7 +227,7 @@ fn simulate(scale: Scale, idx: usize, intensity: f64) -> ResilienceRow {
         (sample.percentile(50.0), sample.percentile(99.0))
     };
 
-    ResilienceRow {
+    Ok(ResilienceRow {
         intensity,
         schedule_events,
         messages: nodes as u64 * rounds,
@@ -242,14 +242,30 @@ fn simulate(scale: Scale, idx: usize, intensity: f64) -> ResilienceRow {
         unaccounted: faults.unaccounted(),
         faults,
         timeline,
-    }
+    })
 }
 
-/// Run the sweep: one row per intensity, baseline first.
-pub fn run(scale: Scale) -> Vec<ResilienceRow> {
+/// Run the sweep: one row per intensity, baseline first. Each intensity
+/// runs quarantined; a stalled or panicking cell becomes an error row
+/// (relative throughput is left 0.0 for every row if the baseline cell
+/// itself failed).
+pub fn run(scale: Scale) -> Outcome<Vec<ResilienceRow>> {
     let cells: Vec<(usize, f64)> = INTENSITIES.iter().copied().enumerate().collect();
-    let mut rows = runner::par_map(&cells, |&(idx, intensity)| simulate(scale, idx, intensity));
-    let baseline = rows[0].throughput_gbps;
+    let results = runner::quarantine_map(
+        &cells,
+        |&(idx, intensity)| CellMeta {
+            label: format!("fault intensity x{intensity}"),
+            seed: 0xFA17_0000 + idx as u64,
+        },
+        |&(idx, intensity)| simulate(scale, idx, intensity),
+    );
+    let (rows, failures) = runner::split_results(results);
+    let mut rows: Vec<ResilienceRow> = rows.into_iter().flatten().collect();
+    let baseline = rows
+        .first()
+        .filter(|r| r.intensity == 0.0)
+        .map(|r| r.throughput_gbps)
+        .unwrap_or(0.0);
     for r in &mut rows {
         r.relative_throughput = if baseline > 0.0 {
             r.throughput_gbps / baseline
@@ -257,7 +273,10 @@ pub fn run(scale: Scale) -> Vec<ResilienceRow> {
             0.0
         };
     }
-    rows
+    Outcome {
+        output: rows,
+        failures,
+    }
 }
 
 #[cfg(test)]
@@ -266,7 +285,7 @@ mod tests {
 
     #[test]
     fn baseline_is_fault_free_and_complete() {
-        let row = simulate(Scale::Tiny, 0, 0.0);
+        let row = simulate(Scale::Tiny, 0, 0.0).expect("baseline completes");
         assert_eq!(row.schedule_events, 0);
         assert_eq!(row.faults, FaultStats::default());
         assert_eq!(row.delivered_messages, row.messages);
@@ -277,7 +296,7 @@ mod tests {
 
     #[test]
     fn faulty_run_recovers_with_full_accounting() {
-        let row = simulate(Scale::Tiny, 2, 4.0);
+        let row = simulate(Scale::Tiny, 2, 4.0).expect("faulty run completes");
         assert!(row.schedule_events > 0, "intensity 4 injected nothing");
         assert!(row.faults.faults_applied > 0);
         assert_eq!(row.unaccounted, 0, "copies leaked");

@@ -95,10 +95,13 @@ pub struct RunConfig {
     /// Print simulation-kernel counters (events dispatched, routing
     /// decisions, queue high-water mark) to stderr after the sweep.
     pub verbose: bool,
+    /// Reuse (and extend) the per-cell result cache under
+    /// `results/.cache/<fig>/`, skipping cells a previous — possibly
+    /// killed — run already completed.
+    pub resume: bool,
 }
 
-const USAGE: &str =
-    "options: --tiny | --quick (default) | --paper | --jobs N (0 = all cores) | --verbose";
+const USAGE: &str = "options: --tiny | --quick (default) | --paper | --jobs N (0 = all cores) | --resume | --verbose";
 
 impl RunConfig {
     /// Parse from process args; prints usage and exits non-zero on any
@@ -127,6 +130,7 @@ impl RunConfig {
             scale: Scale::Quick,
             jobs: 0,
             verbose: false,
+            resume: false,
         };
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -134,6 +138,7 @@ impl RunConfig {
                 "--paper" => cfg.scale = Scale::Paper,
                 "--quick" => cfg.scale = Scale::Quick,
                 "--verbose" | "-v" => cfg.verbose = true,
+                "--resume" => cfg.resume = true,
                 "--help" | "-h" => return Err(HelpRequested),
                 "--jobs" => match args.next().map(|v| v.parse::<usize>()) {
                     Some(Ok(n)) => cfg.jobs = n,
@@ -173,7 +178,8 @@ mod tests {
             RunConfig {
                 scale: Scale::Quick,
                 jobs: 0,
-                verbose: false
+                verbose: false,
+                resume: false
             }
         );
     }
@@ -190,7 +196,8 @@ mod tests {
             RunConfig {
                 scale: Scale::Paper,
                 jobs: 2,
-                verbose: false
+                verbose: false,
+                resume: false
             }
         );
     }
@@ -203,6 +210,16 @@ mod tests {
         let cfg = parse(&["--verbose", "--jobs", "3"]).unwrap();
         assert!(cfg.verbose);
         assert_eq!(cfg.jobs, 3);
+    }
+
+    #[test]
+    fn parses_resume() {
+        assert!(parse(&["--resume"]).unwrap().resume);
+        assert!(!parse(&[]).unwrap().resume);
+        let cfg = parse(&["--resume", "--tiny", "--jobs=2"]).unwrap();
+        assert!(cfg.resume);
+        assert_eq!(cfg.scale, Scale::Tiny);
+        assert_eq!(cfg.jobs, 2);
     }
 
     #[test]

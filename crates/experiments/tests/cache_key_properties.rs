@@ -1,0 +1,83 @@
+//! Property-based tests for the resumable-sweep cache key: the hash must
+//! ignore field-declaration order (so refactoring a figure's key builder
+//! never invalidates its cache) and must separate every identity the
+//! sweep distinguishes — seeds above all, since two cells differing only
+//! in seed hold different measurements.
+
+use proptest::prelude::*;
+use slingshot_experiments::CellKey;
+
+fn field_name() -> impl Strategy<Value = String> {
+    proptest::collection::vec(b'a'..=b'z', 1..8)
+        .prop_map(|bs| bs.into_iter().map(char::from).collect())
+}
+
+fn field_value() -> impl Strategy<Value = String> {
+    proptest::collection::vec(b' '..=b'~', 0..12)
+        .prop_map(|bs| bs.into_iter().map(char::from).collect())
+}
+
+proptest! {
+    /// Inserting the same fields in any order yields the same hash.
+    #[test]
+    fn hash_ignores_insertion_order(
+        fields in proptest::collection::vec((field_name(), field_value()), 1..10),
+        rotate_by in 0usize..10,
+    ) {
+        let forward = fields
+            .iter()
+            .fold(CellKey::new("prop"), |k, (n, v)| k.field(n, v));
+        let mut rotated = fields.clone();
+        rotated.rotate_left(rotate_by % fields.len().max(1));
+        let shuffled = rotated
+            .iter()
+            .fold(CellKey::new("prop"), |k, (n, v)| k.field(n, v));
+        prop_assert_eq!(forward.hash_hex(), shuffled.hash_hex());
+    }
+
+    /// Distinct seeds always produce distinct hashes, whatever the other
+    /// fields are.
+    #[test]
+    fn distinct_seeds_never_collide(
+        fields in proptest::collection::vec((field_name(), field_value()), 0..8),
+        seed_a in 0u64..1_000_000,
+        seed_b in 0u64..1_000_000,
+    ) {
+        prop_assume!(seed_a != seed_b);
+        let base = |seed: u64| {
+            fields
+                .iter()
+                .fold(CellKey::new("prop"), |k, (n, v)| k.field(n, v))
+                .field("seed", seed)
+        };
+        prop_assert_ne!(base(seed_a).hash_hex(), base(seed_b).hash_hex());
+    }
+
+    /// Changing any single field value changes the hash.
+    #[test]
+    fn value_changes_change_the_hash(
+        name in field_name(),
+        value_a in field_value(),
+        value_b in field_value(),
+    ) {
+        prop_assume!(value_a != value_b);
+        let ka = CellKey::new("prop").field(&name, &value_a);
+        let kb = CellKey::new("prop").field(&name, &value_b);
+        prop_assert_ne!(ka.hash_hex(), kb.hash_hex());
+    }
+
+    /// The figure name partitions the cache: the same fields under two
+    /// figures never share an entry.
+    #[test]
+    fn figure_name_partitions_keys(
+        fields in proptest::collection::vec((field_name(), field_value()), 0..8),
+    ) {
+        let under = |fig: &str| {
+            fields
+                .iter()
+                .fold(CellKey::new(fig), |k, (n, v)| k.field(n, v))
+                .hash_hex()
+        };
+        prop_assert_ne!(under("fig9"), under("fig11"));
+    }
+}

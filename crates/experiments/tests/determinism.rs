@@ -2,16 +2,20 @@
 //! bit-identical rows at any `--jobs` thread count, and repeated runs at
 //! the same seed are bit-identical too. Serialized JSON is the equality
 //! witness — it is exactly what the binaries write under `results/`.
+//!
+//! The same witness proves crash-resume equivalence: a sweep aggregated
+//! from cached cells (any mix of hits and recomputes, at any thread
+//! count) serializes byte-identically to an uninterrupted run.
 
-use slingshot_experiments::{fig5, resilience, runner, Scale};
+use slingshot_experiments::{fig11, fig5, resilience, runner, Scale, SweepCache};
 
 fn fig5_json(jobs: usize) -> String {
-    let rows = runner::with_jobs(jobs, || fig5::run(Scale::Tiny));
+    let rows = runner::with_jobs(jobs, || fig5::run(Scale::Tiny)).output;
     serde_json::to_string(&rows).expect("serialize rows")
 }
 
 fn resilience_json(jobs: usize) -> String {
-    let rows = runner::with_jobs(jobs, || resilience::run(Scale::Tiny));
+    let rows = runner::with_jobs(jobs, || resilience::run(Scale::Tiny)).output;
     serde_json::to_string(&rows).expect("serialize rows")
 }
 
@@ -38,4 +42,41 @@ fn resilience_rows_identical_at_any_thread_count() {
         serial, parallel,
         "fault-injection rows differ between --jobs 1 and --jobs 4"
     );
+}
+
+#[test]
+fn resumed_sweep_is_byte_identical_to_uninterrupted() {
+    let dir = std::env::temp_dir().join(format!(
+        "slingshot-resume-determinism-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let uninterrupted = runner::with_jobs(1, || fig11::run(Scale::Tiny));
+    assert!(!uninterrupted.failed());
+    let want = serde_json::to_string(&uninterrupted.output).expect("serialize rows");
+
+    // Cold cache, parallel: every cell computed and stored.
+    let cold = SweepCache::at(dir.clone());
+    let first = runner::with_jobs(4, || fig11::run_with(Scale::Tiny, Some(&cold)));
+    assert_eq!(
+        serde_json::to_string(&first.output).expect("serialize rows"),
+        want,
+        "cold cached run differs from uninterrupted run"
+    );
+    assert_eq!(cold.hits(), 0);
+    assert!(cold.stored() > 0, "cold run stored no cells");
+
+    // Warm cache, serial: every cell served from disk, same bytes.
+    let warm = SweepCache::at(dir.clone());
+    let second = runner::with_jobs(1, || fig11::run_with(Scale::Tiny, Some(&warm)));
+    assert_eq!(
+        serde_json::to_string(&second.output).expect("serialize rows"),
+        want,
+        "resumed run differs from uninterrupted run"
+    );
+    assert_eq!(warm.hits(), cold.stored(), "warm run recomputed cells");
+    assert_eq!(warm.stored(), 0);
+
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -5,7 +5,7 @@ use crate::job::{Job, Rank};
 use crate::script::{MpiOp, Script};
 use crate::stack::ProtocolStack;
 use slingshot_des::{SimDuration, SimTime};
-use slingshot_network::{MessageId, Network, Notification};
+use slingshot_network::{MessageId, Network, Notification, SimError};
 use std::collections::HashMap;
 
 /// Identifier of a job registered with the engine.
@@ -222,23 +222,32 @@ impl Engine {
             .all(|j| j.finished_at.is_some())
     }
 
-    /// Run until every foreground (non-looping) job completes. Panics on
-    /// deadlock or after `max_events` network events.
-    pub fn run_to_completion(&mut self, max_events: u64) -> SimTime {
+    /// Run until every foreground (non-looping) job completes. A drained
+    /// queue with unfinished ranks is a matching deadlock and comes back
+    /// as [`SimError::Deadlock`]; exceeding `max_events` network events
+    /// comes back as [`SimError::Stalled`] with the network's full
+    /// [`slingshot_network::StallReport`] — in both cases the blocked-rank
+    /// summary or the report says *where* the run wedged.
+    pub fn run_to_completion(&mut self, max_events: u64) -> Result<SimTime, SimError> {
         let start_events = self.net.events_processed();
         while !self.all_foreground_done() {
             if !self.net.step() {
-                self.panic_deadlock();
+                return Err(SimError::Deadlock {
+                    waiting: format!("{:?}", self.stuck_summary()),
+                });
             }
-            if self.net.events_processed() - start_events > max_events {
-                panic!(
-                    "engine exceeded {max_events} events; jobs still running: {:?}",
-                    self.stuck_summary()
-                );
+            if let Some(err) = self.net.take_fatal() {
+                return Err(err);
+            }
+            let consumed = self.net.events_processed() - start_events;
+            if consumed > max_events {
+                return Err(SimError::Stalled(Box::new(
+                    self.net.stall_report(max_events, consumed),
+                )));
             }
             self.drain_notifications();
         }
-        self.net.now()
+        Ok(self.net.now())
     }
 
     /// Run until simulated time `t`, servicing all jobs (used by timeline
@@ -277,13 +286,6 @@ impl Engine {
             }
         }
         out
-    }
-
-    fn panic_deadlock(&self) -> ! {
-        panic!(
-            "network drained with unfinished ranks (matching deadlock): {:?}",
-            self.stuck_summary()
-        )
     }
 
     fn handle(&mut self, n: Notification) {

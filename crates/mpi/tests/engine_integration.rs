@@ -25,7 +25,8 @@ fn barrier_completes_on_network() {
         let mut eng = engine(System::Tiny);
         let job = Job::new(nodes(n));
         let id = eng.add_job(job, scripts_from(coll::barrier(n, 0)), 0, SimTime::ZERO);
-        eng.run_to_completion(1_000_000);
+        eng.run_to_completion(1_000_000)
+            .expect("completes within budget");
         let dur = eng.job_duration(id).unwrap();
         assert!(dur > SimDuration::ZERO);
         assert!(dur < SimDuration::from_us(100), "barrier took {dur}");
@@ -42,7 +43,8 @@ fn allreduce_completes_small_and_large() {
             0,
             SimTime::ZERO,
         );
-        eng.run_to_completion(50_000_000);
+        eng.run_to_completion(50_000_000)
+            .expect("completes within budget");
         assert!(eng.job_finished_at(id).is_some());
     }
 }
@@ -57,7 +59,8 @@ fn alltoall_completes_across_algorithm_switch() {
             0,
             SimTime::ZERO,
         );
-        eng.run_to_completion(50_000_000);
+        eng.run_to_completion(50_000_000)
+            .expect("completes within budget");
         assert!(eng.job_finished_at(id).is_some());
     }
 }
@@ -72,7 +75,8 @@ fn bcast_latency_scales_logarithmically() {
         0,
         SimTime::ZERO,
     );
-    eng.run_to_completion(10_000_000);
+    eng.run_to_completion(10_000_000)
+        .expect("completes within budget");
     let dur = eng.job_duration(id).unwrap();
     // 4 levels × (overhead + wire) ≪ 15 × sequential sends (~15 × 2 µs).
     assert!(dur < SimDuration::from_us(20), "bcast took {dur}");
@@ -103,7 +107,8 @@ fn pingpong_latency_reasonable() {
     }
     s0.push(MpiOp::Mark(1));
     let id = eng.add_job(job, vec![s0, s1], 0, SimTime::ZERO);
-    eng.run_to_completion(10_000_000);
+    eng.run_to_completion(10_000_000)
+        .expect("completes within budget");
     let marks = eng.marks();
     let total = marks[1].at.since(marks[0].at);
     let rtt = total / iters as u64;
@@ -130,7 +135,8 @@ fn rendezvous_send_blocks_until_acked() {
     ]);
     let s1 = Script::from_ops(vec![MpiOp::Recv { src: 0, tag: 0 }]);
     eng.add_job(job, vec![s0, s1], 0, SimTime::ZERO);
-    eng.run_to_completion(10_000_000);
+    eng.run_to_completion(10_000_000)
+        .expect("completes within budget");
     let marks = eng.marks();
     let send_time = marks[1].at.since(marks[0].at);
     // 1 MiB at 100 Gb/s ≈ 84 µs minimum; a non-blocking (eager) return
@@ -159,7 +165,8 @@ fn put_and_fence() {
     ]);
     let s1 = Script::from_ops(vec![MpiOp::Compute(SimDuration::from_us(1))]);
     let id = eng.add_job(job, vec![s0, s1], 0, SimTime::ZERO);
-    eng.run_to_completion(10_000_000);
+    eng.run_to_completion(10_000_000)
+        .expect("completes within budget");
     assert!(eng.job_finished_at(id).is_some());
     // The fence waited for ~256 KiB at 100 Gb/s ≈ 21 µs.
     let fence_done = eng.marks()[0].at;
@@ -172,7 +179,8 @@ fn compute_phases_advance_time_without_traffic() {
     let job = Job::new(vec![NodeId(0)]);
     let s = Script::from_ops(vec![MpiOp::Compute(SimDuration::from_ms(2))]);
     let id = eng.add_job(job, vec![s], 0, SimTime::ZERO);
-    eng.run_to_completion(1_000);
+    eng.run_to_completion(1_000)
+        .expect("completes within budget");
     assert_eq!(eng.job_duration(id).unwrap(), SimDuration::from_ms(2));
     assert_eq!(eng.network().stats().messages_delivered, 0);
 }
@@ -204,7 +212,8 @@ fn background_job_loops_while_foreground_completes() {
         0,
         SimTime::from_us(50),
     );
-    eng.run_to_completion(10_000_000);
+    eng.run_to_completion(10_000_000)
+        .expect("completes within budget");
     assert!(eng.job_finished_at(fg_id).is_some());
     assert!(eng.job_finished_at(bg_id).is_none());
     assert!(eng.rank_passes(bg_id, 0) > 0, "background never looped");
@@ -223,7 +232,8 @@ fn iteration_durations_from_marks() {
         s
     };
     let id = eng.add_job(job, vec![mk(&[0, 1, 2]), mk(&[0, 1, 2])], 0, SimTime::ZERO);
-    eng.run_to_completion(1_000);
+    eng.run_to_completion(1_000)
+        .expect("completes within budget");
     let iters = eng.iteration_durations(id);
     assert_eq!(iters.len(), 2);
     for d in iters {
@@ -243,7 +253,8 @@ fn ppn_ranks_share_nodes_via_loopback_and_nic() {
         0,
         SimTime::ZERO,
     );
-    eng.run_to_completion(10_000_000);
+    eng.run_to_completion(10_000_000)
+        .expect("completes within budget");
     assert!(eng.job_finished_at(id).is_some());
 }
 
@@ -266,7 +277,43 @@ fn staggered_start_times() {
         0,
         SimTime::from_ms(1),
     );
-    eng.run_to_completion(1_000);
+    eng.run_to_completion(1_000)
+        .expect("completes within budget");
     assert!(eng.job_finished_at(early).unwrap() < SimTime::from_us(10));
     assert!(eng.job_finished_at(late).unwrap() >= SimTime::from_ms(1));
+}
+
+#[test]
+fn matching_deadlock_is_a_typed_error() {
+    let mut eng = engine(System::Tiny);
+    // A receive that nothing ever sends: the queue drains with the rank
+    // still blocked, which must come back as a Deadlock value naming the
+    // blocked rank, not a panic.
+    let job = Job::new(vec![NodeId(0)]);
+    let s = Script::from_ops(vec![MpiOp::Recv { src: 0, tag: 9 }]);
+    eng.add_job(job, vec![s], 0, SimTime::ZERO);
+    let err = eng
+        .run_to_completion(1_000_000)
+        .expect_err("unmatched receive deadlocks");
+    let msg = format!("{err}");
+    assert!(msg.contains("deadlock"), "{msg}");
+    assert!(msg.contains("Recv"), "{msg}");
+}
+
+#[test]
+fn under_budgeted_engine_run_stalls_with_report() {
+    let mut eng = engine(System::Tiny);
+    let job = Job::new(nodes(8));
+    let id = eng.add_job(
+        job,
+        scripts_from(coll::alltoall(8, 1 << 20, 0)),
+        0,
+        SimTime::ZERO,
+    );
+    let err = eng
+        .run_to_completion(200)
+        .expect_err("200 events cannot finish an 8-rank 1 MiB alltoall");
+    let report = err.stall_report().expect("stall carries a report");
+    assert!(report.events_consumed > 200);
+    assert!(eng.job_finished_at(id).is_none());
 }

@@ -10,6 +10,7 @@
 //! through every figure module. Totals are sums, so the global snapshot is
 //! deterministic at any `--jobs` width.
 
+use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Per-network event and routing counters.
@@ -19,7 +20,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// switch), split into `adaptive_minimal` / `adaptive_nonminimal` picks;
 /// `next_hop_lookups` counts per-hop output-channel selections;
 /// `queue_hwm` is the pending-event-population high-water mark.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
 pub struct KernelStats {
     /// NIC finished serializing a packet.
     pub events_nic_tx: u64,

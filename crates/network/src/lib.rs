@@ -15,7 +15,7 @@
 //!
 //! let mut net = Network::new(NetworkConfig::slingshot(tiny()));
 //! net.send(NodeId(0), NodeId(12), 4096, 0, 7);
-//! net.run_to_quiescence(100_000);
+//! net.run_to_quiescence(100_000).expect("tiny send quiesces");
 //! let delivered = net
 //!     .take_notifications()
 //!     .into_iter()
@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 mod config;
+mod error;
 mod fault;
 mod inflight;
 mod kernel;
@@ -36,6 +37,9 @@ mod packet;
 mod switch;
 
 pub use config::{CcConfig, NetworkConfig};
+pub use error::{
+    ClassVcCredits, NicHotspot, PortHotspot, SimError, StallReport, STALL_REPORT_TOP_N,
+};
 pub use fault::{DropReason, FaultStats};
 pub use inflight::InFlightMap;
 pub use kernel::{global_kernel_stats, KernelStats};

@@ -1,6 +1,9 @@
 //! The assembled packet-level network simulator.
 
 use crate::config::NetworkConfig;
+use crate::error::{
+    ClassVcCredits, NicHotspot, PortHotspot, SimError, StallReport, STALL_REPORT_TOP_N,
+};
 use crate::fault::{DropReason, FaultRuntime, FaultStats, RetryEntry};
 use crate::inflight::InFlightMap;
 use crate::kernel::{flush_to_global, KernelStats};
@@ -141,6 +144,9 @@ pub struct Network {
     kernel: KernelStats,
     /// Live fault state; `None` unless a non-empty schedule is installed.
     faults: Option<FaultRuntime>,
+    /// First fatal accounting error detected during dispatch; surfaced by
+    /// the next budgeted run call instead of corrupting state silently.
+    fatal: Option<SimError>,
 }
 
 impl Drop for Network {
@@ -258,6 +264,7 @@ impl Network {
             stats: NetStats::default(),
             kernel: KernelStats::default(),
             faults,
+            fatal: None,
         }
     }
 
@@ -466,16 +473,132 @@ impl Network {
         }
     }
 
-    /// Run until no events remain; returns the final time. Panics after
-    /// `max_events` to catch livelock in tests.
-    pub fn run_to_quiescence(&mut self, max_events: u64) -> SimTime {
+    /// Run until no events remain; returns the final time. After
+    /// `max_events` the run is declared stalled and comes back as
+    /// [`SimError::Stalled`] carrying a full [`StallReport`] — livelock is
+    /// a bug report, not a panic. A fatal accounting error recorded during
+    /// dispatch (credit underflow) is surfaced the same way. The budget
+    /// counts events from this call, so a stalled network can be given a
+    /// bigger budget and resumed.
+    pub fn run_to_quiescence(&mut self, max_events: u64) -> Result<SimTime, SimError> {
         let start = self.queue.events_processed();
         while self.step() {
-            if self.queue.events_processed() - start > max_events {
-                panic!("simulation exceeded {max_events} events without quiescing");
+            if let Some(err) = self.fatal.take() {
+                return Err(err);
+            }
+            let consumed = self.queue.events_processed() - start;
+            if consumed > max_events {
+                return Err(SimError::Stalled(Box::new(
+                    self.stall_report(max_events, consumed),
+                )));
             }
         }
-        self.now()
+        Ok(self.now())
+    }
+
+    /// Take the fatal accounting error recorded during event dispatch, if
+    /// any. The budgeted run loops consume it automatically; callers
+    /// driving [`Network::step`] by hand can poll it.
+    pub fn take_fatal(&mut self) -> Option<SimError> {
+        self.fatal.take()
+    }
+
+    /// Assemble a [`StallReport`] describing the current (presumably
+    /// wedged) state: deepest ports, widest NIC in-flight windows,
+    /// outstanding credits per (class, VC), kernel counters, and fault
+    /// state. Only called on the error path; work and allocation are
+    /// bounded by system size, never by event count.
+    pub fn stall_report(&self, event_budget: u64, events_consumed: u64) -> StallReport {
+        let mut loads: Vec<(u64, u32, u32)> = Vec::new();
+        for (si, sw) in self.switches.iter().enumerate() {
+            for (pi, p) in sw.ports.iter().enumerate() {
+                let load = p.load_estimate();
+                if load > 0 {
+                    loads.push((load, si as u32, pi as u32));
+                }
+            }
+        }
+        loads.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+        loads.truncate(STALL_REPORT_TOP_N);
+        let hot_ports = loads
+            .iter()
+            .map(|&(_, si, pi)| {
+                let p = &self.switches[si as usize].ports[pi as usize];
+                PortHotspot {
+                    switch: si,
+                    port: pi,
+                    drives: match p.kind {
+                        PortKind::Channel(ch) => format!("ch:{}", ch.0),
+                        PortKind::Eject(n) => format!("eject:{}", n.0),
+                    },
+                    queued_wire: p.queued_wire,
+                    outstanding: p.outstanding.iter().sum(),
+                    busy: p.busy,
+                }
+            })
+            .collect();
+
+        let mut windows: Vec<(u64, u32)> = Vec::new();
+        for nic in &self.nics {
+            let bytes: u64 = nic.in_flight.iter().map(|(_, v)| v).sum();
+            if bytes > 0 || !nic.active.is_empty() || !nic.retx.is_empty() {
+                windows.push((bytes, nic.node.0));
+            }
+        }
+        windows.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        windows.truncate(STALL_REPORT_TOP_N);
+        let hot_nics = windows
+            .iter()
+            .map(|&(bytes, node)| {
+                let nic = &self.nics[node as usize];
+                NicHotspot {
+                    node,
+                    in_flight_bytes: bytes,
+                    destinations: nic.in_flight.len(),
+                    active_messages: nic.active.len(),
+                    retx_queued: nic.retx.len(),
+                }
+            })
+            .collect();
+
+        let mut per_class_vc = vec![0u64; self.n_tc * NUM_VCS];
+        for sw in &self.switches {
+            for p in &sw.ports {
+                if matches!(p.kind, PortKind::Channel(_)) {
+                    for (q, &o) in p.outstanding.iter().enumerate() {
+                        per_class_vc[q] += o;
+                    }
+                }
+            }
+        }
+        let credits = per_class_vc
+            .iter()
+            .enumerate()
+            .filter(|&(_, &b)| b > 0)
+            .map(|(q, &bytes)| ClassVcCredits {
+                tc: (q / NUM_VCS) as u32,
+                vc: (q % NUM_VCS) as u32,
+                bytes,
+            })
+            .collect();
+
+        StallReport {
+            event_budget,
+            events_consumed,
+            sim_time_ns: self.now().as_ps() / 1000,
+            pending_events: self.queue.len() as u64,
+            messages_in_flight: self
+                .messages
+                .iter()
+                .filter(|m| m.remaining_to_deliver > 0)
+                .count() as u64,
+            kernel: self.kernel,
+            hot_ports,
+            hot_nics,
+            credits,
+            channels_down: self.liveness().map(Liveness::channels_down).unwrap_or(0),
+            switches_down: self.liveness().map(Liveness::switches_down).unwrap_or(0),
+        }
     }
 
     /// Run until at least one notification is pending or the queue drains.
@@ -931,9 +1054,36 @@ impl Network {
     fn drop_at_port(&mut self, sw: u32, port: u32, pkt: &Packet, reason: DropReason, now: SimTime) {
         let p = &mut self.switches[sw as usize].ports[port as usize];
         p.busy = false;
-        p.credit_return(pkt.tc as usize, vc_of(pkt.route.hops), pkt.wire);
+        let rollback = p.credit_return(pkt.tc as usize, vc_of(pkt.route.hops), pkt.wire);
         p.tx_wire_bytes -= pkt.wire as u64;
+        if let Err(outstanding) = rollback {
+            let vc = vc_of(pkt.route.hops) as u8;
+            self.record_credit_underflow(sw, port, pkt.tc, vc, pkt.wire, outstanding);
+        }
         self.record_drop(pkt, reason, now);
+    }
+
+    /// Latch the first credit-underflow accounting error; later ones are
+    /// symptoms of the same corruption and add nothing.
+    fn record_credit_underflow(
+        &mut self,
+        switch: u32,
+        port: u32,
+        tc: u8,
+        vc: u8,
+        returned: u32,
+        outstanding: u64,
+    ) {
+        if self.fatal.is_none() {
+            self.fatal = Some(SimError::CreditUnderflow {
+                switch,
+                port,
+                tc,
+                vc,
+                returned,
+                outstanding,
+            });
+        }
     }
 
     /// Record a destroyed copy: count it by reason and return the upstream
@@ -1126,7 +1276,9 @@ impl Network {
         match target {
             CreditTarget::Port { sw, port } => {
                 let p = &mut self.switches[sw as usize].ports[port as usize];
-                p.credit_return(tc as usize, vc as usize, bytes);
+                if let Err(outstanding) = p.credit_return(tc as usize, vc as usize, bytes) {
+                    self.record_credit_underflow(sw, port, tc, vc, bytes, outstanding);
+                }
                 self.try_start_tx(sw, port, now);
             }
             CreditTarget::Nic(node) => {

@@ -183,11 +183,22 @@ impl OutPort {
         pkt
     }
 
-    /// A downstream credit returned for `(tc, vc)`.
-    pub fn credit_return(&mut self, tc: usize, vc: usize, bytes: u32) {
+    /// A downstream credit returned for `(tc, vc)`. Returning more bytes
+    /// than are outstanding is a credit **underflow** (an accounting bug,
+    /// not "overflow" as an old assertion here claimed): the counter
+    /// saturates at zero instead of wrapping and `Err` carries the bytes
+    /// that were actually outstanding, so the caller can surface a
+    /// [`crate::SimError::CreditUnderflow`] naming this port, class and
+    /// VC.
+    pub fn credit_return(&mut self, tc: usize, vc: usize, bytes: u32) -> Result<(), u64> {
         let q = tc * NUM_VCS + vc;
-        debug_assert!(self.outstanding[q] >= bytes as u64, "credit overflow");
-        self.outstanding[q] -= bytes as u64;
+        let before = self.outstanding[q];
+        self.outstanding[q] = before.saturating_sub(bytes as u64);
+        if before >= bytes as u64 {
+            Ok(())
+        } else {
+            Err(before)
+        }
     }
 
     /// Enqueue a packet into its class/VC queue.
@@ -279,7 +290,7 @@ mod tests {
         let _ = p.take(0, 0, SimTime::ZERO);
         // Third would need 4158 more shared bytes on top of 4092 used.
         assert_eq!(p.pick(SimTime::ZERO), None, "pool exhausted");
-        p.credit_return(0, 0, 4158);
+        p.credit_return(0, 0, 4158).unwrap();
         assert!(p.pick(SimTime::ZERO).is_some(), "credit frees the head");
     }
 
@@ -347,8 +358,20 @@ mod tests {
         assert_eq!(pkt.wire, 500);
         assert_eq!(p.queued_wire, 300);
         assert_eq!(p.outstanding[1], 500);
-        p.credit_return(0, 1, 500);
+        p.credit_return(0, 1, 500).unwrap();
         assert_eq!(p.outstanding[1], 0);
+    }
+
+    #[test]
+    fn credit_underflow_reports_and_saturates() {
+        let mut p = port(1, 1 << 20);
+        p.enqueue(test_packet(500, 0, 1));
+        let _ = p.take(0, 1, SimTime::ZERO);
+        // Returning more than is outstanding is an underflow: the counter
+        // saturates at zero and the prior outstanding comes back in `Err`.
+        assert_eq!(p.credit_return(0, 1, 600), Err(500));
+        assert_eq!(p.outstanding[1], 0);
+        assert_eq!(p.credit_return(0, 1, 1), Err(0));
     }
 
     #[test]

@@ -13,7 +13,8 @@ fn drive_traffic(net: &mut Network) {
     for i in 0..4u32 {
         net.send(NodeId(i), NodeId(12 + i), 64 << 10, 0, i as u64);
     }
-    net.run_to_quiescence(10_000_000);
+    net.run_to_quiescence(10_000_000)
+        .expect("quiesces within budget");
 }
 
 fn delivered_count(notes: &[Notification]) -> usize {
@@ -159,7 +160,8 @@ fn unreachable_destination_gives_up_with_full_accounting() {
     cfg.faults = Some(FaultConfig::new(schedule));
     let mut net = Network::new(cfg);
     net.send(NodeId(0), NodeId(12), 4096, 0, 7);
-    net.run_to_quiescence(10_000_000);
+    net.run_to_quiescence(10_000_000)
+        .expect("quiesces within budget");
 
     let stats = net.fault_stats().expect("fault mode");
     assert_eq!(stats.delivered_unique, 0);

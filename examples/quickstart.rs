@@ -27,7 +27,8 @@ fn main() {
 
     // 2. Send one raw message across groups and watch it arrive.
     net.send(NodeId(0), NodeId(12), 64 << 10, 0, 7);
-    net.run_to_quiescence(1_000_000);
+    net.run_to_quiescence(1_000_000)
+        .expect("quiesces within budget");
     for n in net.take_notifications() {
         if let Notification::Delivered {
             bytes,
@@ -54,7 +55,9 @@ fn main() {
         .map(Script::from_ops)
         .collect();
     let job = engine.add_job(Job::new(nodes), scripts, 0, SimTime::ZERO);
-    engine.run_to_completion(10_000_000);
+    engine
+        .run_to_completion(10_000_000)
+        .expect("completes within budget");
     println!(
         "4 KiB MPI_Allreduce over 16 nodes completed in {}",
         engine.job_duration(job).expect("job finished"),

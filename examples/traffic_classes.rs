@@ -12,7 +12,7 @@ use slingshot_experiments::Scale;
 fn main() {
     println!("two bisection-bandwidth jobs, network tapered to 25 %");
     println!("job 2 starts at 0.9 ms; job 1 stops at ~2.2 ms\n");
-    let rows = run(Scale::Tiny);
+    let rows = run(Scale::Tiny).output;
     for same in [true, false] {
         let label = if same {
             "same traffic class"

@@ -41,7 +41,7 @@ proptest! {
             net.send(NodeId(src % n), NodeId(dst % n), bytes, 0, 0);
             expected_bytes += bytes;
         }
-        net.run_to_quiescence(400_000_000);
+        net.run_to_quiescence(400_000_000).expect("quiesces within budget");
         let delivered: Vec<Notification> = net.take_notifications();
         let delivered_count = delivered
             .iter()
@@ -67,7 +67,7 @@ proptest! {
             net.send(NodeId(src), NodeId(dst), bytes, 0, 0);
             per_dst[(dst % 16) as usize] += bytes;
         }
-        net.run_to_quiescence(200_000_000);
+        net.run_to_quiescence(200_000_000).expect("quiesces within budget");
         for note in net.take_notifications() {
             if let Notification::Delivered { submitted_at, delivered_at, .. } = note {
                 prop_assert!(delivered_at >= submitted_at);

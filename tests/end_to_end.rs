@@ -66,7 +66,8 @@ fn every_hpc_app_runs_on_the_simulator() {
         let mut eng = Engine::new(net, ProtocolStack::mpi());
         let nodes: Vec<NodeId> = (0..n).map(NodeId).collect();
         let id = eng.add_job(Job::new(nodes), app.scripts(n, 2), 0, SimTime::ZERO);
-        eng.run_to_completion(200_000_000);
+        eng.run_to_completion(200_000_000)
+            .expect("completes within budget");
         let dur = eng.job_duration(id).unwrap();
         assert!(
             dur > SimDuration::from_us(100),
@@ -94,7 +95,8 @@ fn every_tail_app_round_trips() {
             0,
             SimTime::ZERO,
         );
-        eng.run_to_completion(100_000_000);
+        eng.run_to_completion(100_000_000)
+            .expect("completes within budget");
         assert_eq!(eng.iteration_durations(id).len(), 3, "{}", app.label());
     }
 }
@@ -112,7 +114,8 @@ fn deterministic_across_full_stack() {
             .map(Script::from_ops)
             .collect();
         let id = eng.add_job(Job::new(nodes), scripts, 0, SimTime::ZERO);
-        eng.run_to_completion(100_000_000);
+        eng.run_to_completion(100_000_000)
+            .expect("completes within budget");
         (
             eng.job_finished_at(id).unwrap(),
             eng.network().events_processed(),
@@ -136,7 +139,8 @@ fn collectives_complete_on_aries_too() {
         .map(Script::from_ops)
         .collect();
     let id = eng.add_job(Job::new(nodes), scripts, 0, SimTime::ZERO);
-    eng.run_to_completion(500_000_000);
+    eng.run_to_completion(500_000_000)
+        .expect("completes within budget");
     assert!(eng.job_finished_at(id).is_some());
 }
 
@@ -156,7 +160,8 @@ fn slingshot_beats_aries_on_quiet_latency_too() {
             0,
             SimTime::ZERO,
         );
-        eng.run_to_completion(10_000_000);
+        eng.run_to_completion(10_000_000)
+            .expect("completes within budget");
         let iters = eng.iteration_durations(id);
         iters.iter().map(|d| d.as_ns_f64()).sum::<f64>() / iters.len() as f64
     };
