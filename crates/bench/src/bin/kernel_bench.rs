@@ -15,6 +15,7 @@ use serde::Serialize;
 use slingshot::des::{DetRng, EventQueue, SimTime};
 use slingshot::network::InFlightMap;
 use slingshot::routing::{AdaptiveParams, QuietView, Router, RoutingAlgorithm};
+use slingshot::telemetry::{HopKind, TelemetryConfig, TelemetryHub};
 use slingshot::topology::{shandy, ChannelId, Liveness, NodeId, SwitchId};
 use slingshot::{Profile, System, SystemBuilder};
 use std::alloc::{GlobalAlloc, Layout, System as SystemAlloc};
@@ -250,6 +251,76 @@ fn main() {
             jitter ^= jitter << 17;
             queue.push(SimTime::from_ps(t.as_ps() + 1_000 + jitter % 20_000), v);
             black_box(t);
+        },
+    ));
+
+    // Telemetry instrumentation sites. Disabled is the shipping default:
+    // every site in the simulator reduces to this one Option discriminant
+    // check, which must stay free (≤ a couple ns, no allocations) for the
+    // disabled run to remain byte-identical *and* cost-identical to an
+    // uninstrumented build. The enabled paths bound what `--telemetry`
+    // adds per event: a pure sampling hash and a bucket bump.
+    let mut sink: Option<Box<TelemetryHub>> = None;
+    benches.push(bench(
+        "telemetry_disabled_gate",
+        200_000 * scale,
+        true,
+        || {
+            if let Some(hub) = black_box(&mut sink).as_deref_mut() {
+                hub.on_port_tx(0, 0, 0, 0);
+            }
+        },
+    ));
+
+    let mut rng = DetRng::seed_from(6);
+    let hub = TelemetryHub::new(TelemetryConfig::sampled(16), 64, 2, 4);
+    benches.push(bench(
+        "telemetry_sampling_hash",
+        200_000 * scale,
+        true,
+        || {
+            let msg = rng.below(1 << 48);
+            black_box(hub.sampled(msg, (msg % 64) as u32));
+        },
+    ));
+
+    // Bucket bump with the sink enabled. Time cycles inside a fixed 1 ms
+    // window so the series stops growing after warmup and the record
+    // captures the steady-state bump, not one-off bucket growth.
+    let mut hub = TelemetryHub::new(TelemetryConfig::sampled(16), 64, 2, 4);
+    let mut at: u64 = 0;
+    benches.push(bench(
+        "telemetry_port_tx_bump",
+        200_000 * scale,
+        false,
+        || {
+            at = (at + 7_919_333) % 1_000_000_000;
+            hub.on_port_tx((at % 64) as u32, (at % 2) as u8, at, 4096);
+        },
+    ));
+
+    // Flight-recorder append into the bounded ring (wraps after warmup,
+    // so the timed region never grows the buffer).
+    let mut rec_hub = TelemetryHub::new(TelemetryConfig::sampled(1), 4, 1, 1);
+    let mut rec_at: u64 = 0;
+    benches.push(bench(
+        "telemetry_record_event",
+        200_000 * scale,
+        false,
+        || {
+            rec_at += 1_000;
+            rec_hub.record_event(
+                rec_at,
+                rec_at % 512,
+                0,
+                0,
+                0,
+                HopKind::VoqEnqueue {
+                    sw: 1,
+                    port: 2,
+                    vc: 0,
+                },
+            );
         },
     ));
 

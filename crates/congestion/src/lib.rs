@@ -59,6 +59,11 @@ pub trait CongestionControl {
     /// observability and tests.
     fn window(&self, dst: u32) -> u64;
 
+    /// The ceiling a pair's window recovers to when uncongested. A pair
+    /// whose window sits below this is being actively throttled ("paused"
+    /// in the telemetry sense).
+    fn max_window(&self) -> u64;
+
     /// Total number of throttle (window-reduction) events, for statistics.
     fn throttle_events(&self) -> u64 {
         0
@@ -99,6 +104,10 @@ impl CongestionControl for NoCc {
     fn on_ack(&mut self, _dst: u32, _feedback: AckFeedback, _now: SimTime) {}
 
     fn window(&self, _dst: u32) -> u64 {
+        self.window
+    }
+
+    fn max_window(&self) -> u64 {
         self.window
     }
 }

@@ -129,6 +129,10 @@ impl CongestionControl for SlingshotCc {
     fn throttle_events(&self) -> u64 {
         self.throttles
     }
+
+    fn max_window(&self) -> u64 {
+        self.params.max_window
+    }
 }
 
 #[cfg(test)]

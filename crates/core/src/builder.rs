@@ -3,6 +3,7 @@
 use slingshot_network::{CcConfig, Network, NetworkConfig};
 use slingshot_qos::TrafficClassSet;
 use slingshot_routing::RoutingAlgorithm;
+use slingshot_telemetry::TelemetryConfig;
 use slingshot_topology::{crystal, malbec, shandy, shandy_scaled, tiny, DragonflyParams};
 
 /// The machines of the paper's §III (plus helpers for scaled experiments).
@@ -66,6 +67,7 @@ pub struct SystemBuilder {
     classes: Option<TrafficClassSet>,
     routing: Option<RoutingAlgorithm>,
     seed: u64,
+    telemetry: Option<TelemetryConfig>,
 }
 
 impl SystemBuilder {
@@ -78,6 +80,7 @@ impl SystemBuilder {
             classes: None,
             routing: None,
             seed: 0xC0FFEE,
+            telemetry: None,
         }
     }
 
@@ -107,6 +110,15 @@ impl SystemBuilder {
         self
     }
 
+    /// Enable time-resolved telemetry (disabled by default; the disabled
+    /// run carries no telemetry state). The flight-recorder sampling seed
+    /// follows the builder's [`SystemBuilder::seed`], so one seed knob
+    /// governs both the simulation and the sampled-packet set.
+    pub fn telemetry(mut self, cfg: TelemetryConfig) -> Self {
+        self.telemetry = Some(cfg);
+        self
+    }
+
     /// Produce the [`NetworkConfig`] without constructing the network.
     pub fn config(&self) -> NetworkConfig {
         let topo = self.system.params();
@@ -127,6 +139,10 @@ impl SystemBuilder {
             cfg.routing = routing;
         }
         cfg.seed = self.seed;
+        cfg.telemetry = self.telemetry.map(|mut t| {
+            t.seed = self.seed;
+            t
+        });
         cfg
     }
 

@@ -35,6 +35,8 @@ pub use slingshot_qos as qos;
 pub use slingshot_rosetta as rosetta;
 pub use slingshot_routing as routing;
 pub use slingshot_stats as stats;
+pub use slingshot_telemetry as telemetry;
 pub use slingshot_topology as topology;
 
 pub use slingshot_network::{CcConfig, MessageId, Network, NetworkConfig, Notification};
+pub use slingshot_telemetry::{TelemetryConfig, TelemetryReport};

@@ -34,7 +34,7 @@ mod rng;
 mod time;
 
 pub use queue::EventQueue;
-pub use rng::DetRng;
+pub use rng::{mix64, DetRng};
 pub use time::{
     serialization_time, SimDuration, SimTime, PS_PER_MS, PS_PER_NS, PS_PER_S, PS_PER_US,
 };

@@ -52,6 +52,12 @@ fn main() {
         if cfg.verbose {
             cmd.arg("--verbose");
         }
+        if let Some(dir) = &cfg.telemetry {
+            cmd.arg(format!("--telemetry={dir}"));
+        }
+        if let Some(n) = cfg.trace_sample {
+            cmd.arg(format!("--trace-sample={n}"));
+        }
         match cmd.status() {
             Ok(status) if status.success() => {}
             Ok(status) => {

@@ -36,11 +36,14 @@ fn main() {
     );
     let name = format!("fig11_{}", scale.label());
     save_json(&name, rows);
+    // With --telemetry, re-run the paper's worst full-scale cell traced.
+    slingshot_experiments::telemetry::trace_fig11(&cfg);
     if let Some(cache) = &cache {
         cache.log_resume_summary(&name);
     }
     if cfg.verbose {
         slingshot_experiments::report::print_kernel_stats();
+        slingshot_experiments::report::save_kernel_stats(&name);
     }
     if report_failures(&name, &out.failures) {
         std::process::exit(1);

@@ -25,8 +25,11 @@ fn main() {
     println!("1.00 at 1 MiB (congestion control throttles immediately).");
     let name = format!("fig12_{}", scale.label());
     save_json(&name, rows);
+    // With --telemetry, re-run the worst bursty corner traced.
+    slingshot_experiments::telemetry::trace_fig12(&cfg);
     if cfg.verbose {
         slingshot_experiments::report::print_kernel_stats();
+        slingshot_experiments::report::save_kernel_stats(&name);
     }
     if report_failures(&name, &out.failures) {
         std::process::exit(1);

@@ -49,6 +49,7 @@ fn main() {
     save_json(&name, rows);
     if cfg.verbose {
         slingshot_experiments::report::print_kernel_stats();
+        slingshot_experiments::report::save_kernel_stats(&name);
     }
     if report_failures(&name, &out.failures) {
         std::process::exit(1);

@@ -50,11 +50,15 @@ fn main() {
     println!("impact grows with aggressor share and hits small messages hardest.");
     let name = format!("fig9_{}", scale.label());
     save_json(&name, cells);
+    // With --telemetry, re-run the representative victim isolated and
+    // under incast with the flight recorder on and export both traces.
+    slingshot_experiments::telemetry::trace_fig9(&cfg);
     if let Some(cache) = &cache {
         cache.log_resume_summary(&name);
     }
     if cfg.verbose {
         slingshot_experiments::report::print_kernel_stats();
+        slingshot_experiments::report::save_kernel_stats(&name);
     }
     if report_failures(&name, &out.failures) {
         std::process::exit(1);

@@ -7,7 +7,7 @@
 
 use crate::scale::Scale;
 use serde::Serialize;
-use slingshot::{Profile, System, SystemBuilder};
+use slingshot::{Profile, System, SystemBuilder, TelemetryConfig, TelemetryReport};
 use slingshot_des::{SimDuration, SimTime};
 use slingshot_mpi::{Engine, Job, ProtocolStack, Script};
 use slingshot_network::SimError;
@@ -168,10 +168,27 @@ pub fn try_run_cell(
     iters: u32,
     event_budget: u64,
 ) -> Result<CellResult, SimError> {
+    try_run_cell_traced(cell, victim, iters, event_budget, None).map(|(r, _)| r)
+}
+
+/// [`try_run_cell`] with optional time-resolved telemetry. When a
+/// [`TelemetryConfig`] is given the network records bucketed counters and
+/// a sampled packet flight, returned alongside the timing result; `None`
+/// runs the exact uninstrumented cell (telemetry never consumes RNG
+/// draws, so the [`CellResult`] is identical either way).
+pub fn try_run_cell_traced(
+    cell: &Cell,
+    victim: Victim,
+    iters: u32,
+    event_budget: u64,
+    telemetry: Option<TelemetryConfig>,
+) -> Result<(CellResult, Option<TelemetryReport>), SimError> {
     let machine = machine_for(cell.nodes);
-    let net = SystemBuilder::new(System::Custom(machine), cell.profile)
-        .seed(cell.seed)
-        .build();
+    let mut builder = SystemBuilder::new(System::Custom(machine), cell.profile).seed(cell.seed);
+    if let Some(tcfg) = telemetry {
+        builder = builder.telemetry(tcfg);
+    }
+    let net = builder.build();
     let mut eng = Engine::new(net, ProtocolStack::mpi());
 
     let alloc = Allocation::split(cell.nodes, cell.victim_nodes, cell.policy, cell.seed);
@@ -196,13 +213,17 @@ pub fn try_run_cell(
     let durations = eng.iteration_durations(victim_job);
     assert!(!durations.is_empty(), "victim produced no iterations");
     let mut sample = Sample::from_values(durations.iter().map(|d| d.as_secs_f64()).collect());
-    Ok(CellResult {
-        mean_secs: sample.mean(),
-        median_secs: sample.median(),
-        p99_secs: sample.percentile(99.0),
-        p95_secs: sample.percentile(95.0),
-        iterations: sample.len(),
-    })
+    let report = eng.network_mut().take_telemetry_report();
+    Ok((
+        CellResult {
+            mean_secs: sample.mean(),
+            median_secs: sample.median(),
+            p99_secs: sample.percentile(99.0),
+            p95_secs: sample.percentile(95.0),
+            iterations: sample.len(),
+        },
+        report,
+    ))
 }
 
 /// [`try_run_cell`] for callers that treat any simulation error as fatal

@@ -13,7 +13,7 @@ use crate::congestion::{machine_for, Victim, WARMUP};
 use crate::runner::{self, CellFailure, CellMeta, Outcome};
 use crate::scale::Scale;
 use serde::Serialize;
-use slingshot::{Profile, System, SystemBuilder};
+use slingshot::{Profile, System, SystemBuilder, TelemetryReport};
 use slingshot_des::SimDuration;
 use slingshot_mpi::{Engine, Job, ProtocolStack, Script};
 use slingshot_network::SimError;
@@ -136,10 +136,50 @@ fn measure(
     iters: u32,
     scale: Scale,
 ) -> Result<f64, SimError> {
+    measure_traced(nodes, aggressor, iters, scale, None).map(|(mean, _)| mean)
+}
+
+/// Run one bursty cell under the flight recorder: the 128 KiB /
+/// long-burst / short-gap corner the paper highlights as the worst bursty
+/// case (the control loop is slow enough for the burst to squeeze in).
+/// Returns the telemetry report for export.
+pub fn traced_cell(
+    scale: Scale,
+    tcfg: slingshot::TelemetryConfig,
+) -> Result<TelemetryReport, SimError> {
+    let (sizes, bursts, gaps) = axes(scale);
+    let bytes = if sizes.contains(&(128 << 10)) {
+        128 << 10
+    } else {
+        sizes[sizes.len() / 2]
+    };
+    let aggressor = Some((bytes, *bursts.last().unwrap(), gaps[0]));
+    let iters = scale.iterations().max(4);
+    let (_, report) = measure_traced(
+        scale.congestion_nodes(),
+        aggressor,
+        iters,
+        scale,
+        Some(tcfg),
+    )?;
+    Ok(report.expect("telemetry was enabled"))
+}
+
+/// [`measure`] with optional telemetry (never perturbs the measurement —
+/// the recorder draws no RNG and the mean is identical either way).
+fn measure_traced(
+    nodes: u32,
+    aggressor: Option<(u64, u64, u64)>,
+    iters: u32,
+    scale: Scale,
+    tcfg: Option<slingshot::TelemetryConfig>,
+) -> Result<(f64, Option<TelemetryReport>), SimError> {
     let machine = machine_for(nodes);
-    let net = SystemBuilder::new(System::Custom(machine), Profile::Slingshot)
-        .seed(12)
-        .build();
+    let mut builder = SystemBuilder::new(System::Custom(machine), Profile::Slingshot).seed(12);
+    if let Some(t) = tcfg {
+        builder = builder.telemetry(t);
+    }
+    let net = builder.build();
     let mut eng = Engine::new(net, ProtocolStack::mpi());
     let alloc = Allocation::split(nodes, nodes / 2, AllocationPolicy::Interleaved, 12);
     if let Some((bytes, burst, gap)) = aggressor {
@@ -157,7 +197,8 @@ fn measure(
             .map(|d| d.as_secs_f64())
             .collect(),
     );
-    Ok(s.mean())
+    let report = eng.network_mut().take_telemetry_report();
+    Ok((s.mean(), report))
 }
 
 #[cfg(test)]

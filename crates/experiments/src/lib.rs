@@ -30,11 +30,12 @@ pub mod report;
 pub mod resilience;
 pub mod runner;
 pub mod scale;
+pub mod telemetry;
 
 pub use cache::{CacheValue, CellKey, SweepCache};
 pub use congestion::{
     congestion_impact, default_victims, machine_for, paper_victim_splits, run_cell, run_pair,
-    try_run_cell, Cell, CellResult, Victim,
+    try_run_cell, try_run_cell_traced, Cell, CellResult, Victim,
 };
 pub use runner::{CellFailure, CellMeta, Outcome};
 pub use scale::{RunConfig, Scale};

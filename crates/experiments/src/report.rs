@@ -153,6 +153,26 @@ pub fn print_kernel_stats() {
     eprintln!("  event-queue high water {:>16}", k.queue_hwm);
 }
 
+/// Persist the process-global kernel counters as
+/// `results/<name>_kernelstats.json` — the machine-readable companion to
+/// [`print_kernel_stats`], written by every figure binary under
+/// `--verbose` so perf investigations can diff counter totals across
+/// runs without scraping stderr.
+pub fn save_kernel_stats(name: &str) {
+    #[derive(Serialize)]
+    struct KernelStatsFile {
+        /// Networks simulated by this process (counters are summed over
+        /// all of them).
+        networks: u64,
+        stats: slingshot_network::KernelStats,
+    }
+    let (stats, networks) = slingshot_network::global_kernel_stats();
+    save_json(
+        &format!("{name}_kernelstats"),
+        &KernelStatsFile { networks, stats },
+    );
+}
+
 /// Print failed sweep cells as an error table, persist them to
 /// `results/<name>_errors.json`, and return whether there were any.
 /// Callers exit non-zero on `true`. Fault-free sweeps print nothing and

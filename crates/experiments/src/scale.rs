@@ -86,7 +86,7 @@ impl Scale {
 }
 
 /// Full harness configuration parsed from a figure binary's arguments.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RunConfig {
     /// Sweep size.
     pub scale: Scale,
@@ -99,9 +99,18 @@ pub struct RunConfig {
     /// `results/.cache/<fig>/`, skipping cells a previous — possibly
     /// killed — run already completed.
     pub resume: bool,
+    /// Output directory for time-resolved telemetry and packet traces
+    /// (`--telemetry DIR`). `None` (the default) leaves the simulator
+    /// entirely uninstrumented — results are byte-identical to a build
+    /// without the telemetry subsystem.
+    pub telemetry: Option<String>,
+    /// Flight-recorder sampling interval: trace 1 in N packets
+    /// (`--trace-sample N`). `None` uses the default interval when
+    /// `--telemetry` is given, and is meaningless without it.
+    pub trace_sample: Option<u32>,
 }
 
-const USAGE: &str = "options: --tiny | --quick (default) | --paper | --jobs N (0 = all cores) | --resume | --verbose";
+const USAGE: &str = "options: --tiny | --quick (default) | --paper | --jobs N (0 = all cores) | --resume | --verbose | --telemetry DIR | --trace-sample N (trace 1-in-N packets)";
 
 impl RunConfig {
     /// Parse from process args; prints usage and exits non-zero on any
@@ -131,6 +140,16 @@ impl RunConfig {
             jobs: 0,
             verbose: false,
             resume: false,
+            telemetry: None,
+            trace_sample: None,
+        };
+        let parse_sample = |v: &str| -> Result<u32, String> {
+            match v.parse::<u32>() {
+                Ok(n) if n > 0 => Ok(n),
+                _ => Err(format!(
+                    "--trace-sample expects a positive interval, got {v:?}"
+                )),
+            }
         };
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -146,13 +165,37 @@ impl RunConfig {
                         return Ok(Err("--jobs expects a thread count".into()));
                     }
                 },
-                other => match other.strip_prefix("--jobs=") {
-                    Some(v) => match v.parse::<usize>() {
-                        Ok(n) => cfg.jobs = n,
-                        Err(_) => return Ok(Err(format!("invalid --jobs value {v:?}"))),
-                    },
-                    None => return Ok(Err(format!("unrecognized option {other:?}"))),
+                "--telemetry" => match args.next() {
+                    Some(dir) if !dir.starts_with('-') => cfg.telemetry = Some(dir),
+                    _ => return Ok(Err("--telemetry expects an output directory".into())),
                 },
+                "--trace-sample" => match args.next() {
+                    Some(v) => match parse_sample(&v) {
+                        Ok(n) => cfg.trace_sample = Some(n),
+                        Err(e) => return Ok(Err(e)),
+                    },
+                    None => return Ok(Err("--trace-sample expects a packet interval".into())),
+                },
+                other => {
+                    if let Some(v) = other.strip_prefix("--jobs=") {
+                        match v.parse::<usize>() {
+                            Ok(n) => cfg.jobs = n,
+                            Err(_) => return Ok(Err(format!("invalid --jobs value {v:?}"))),
+                        }
+                    } else if let Some(v) = other.strip_prefix("--telemetry=") {
+                        if v.is_empty() {
+                            return Ok(Err("--telemetry expects an output directory".into()));
+                        }
+                        cfg.telemetry = Some(v.to_string());
+                    } else if let Some(v) = other.strip_prefix("--trace-sample=") {
+                        match parse_sample(v) {
+                            Ok(n) => cfg.trace_sample = Some(n),
+                            Err(e) => return Ok(Err(e)),
+                        }
+                    } else {
+                        return Ok(Err(format!("unrecognized option {other:?}")));
+                    }
+                }
             }
         }
         Ok(Ok(cfg))
@@ -179,7 +222,9 @@ mod tests {
                 scale: Scale::Quick,
                 jobs: 0,
                 verbose: false,
-                resume: false
+                resume: false,
+                telemetry: None,
+                trace_sample: None,
             }
         );
     }
@@ -197,9 +242,35 @@ mod tests {
                 scale: Scale::Paper,
                 jobs: 2,
                 verbose: false,
-                resume: false
+                resume: false,
+                telemetry: None,
+                trace_sample: None,
             }
         );
+    }
+
+    #[test]
+    fn parses_telemetry_and_trace_sample() {
+        let cfg = parse(&["--telemetry", "traces", "--trace-sample", "8"]).unwrap();
+        assert_eq!(cfg.telemetry.as_deref(), Some("traces"));
+        assert_eq!(cfg.trace_sample, Some(8));
+        let cfg = parse(&["--telemetry=out/t", "--trace-sample=1"]).unwrap();
+        assert_eq!(cfg.telemetry.as_deref(), Some("out/t"));
+        assert_eq!(cfg.trace_sample, Some(1));
+        // Disabled by default, composes with the other options.
+        let cfg = parse(&["--tiny", "--jobs=2"]).unwrap();
+        assert_eq!(cfg.telemetry, None);
+        assert_eq!(cfg.trace_sample, None);
+    }
+
+    #[test]
+    fn rejects_malformed_telemetry_options() {
+        assert!(parse(&["--telemetry"]).is_err());
+        assert!(parse(&["--telemetry", "--tiny"]).is_err());
+        assert!(parse(&["--telemetry="]).is_err());
+        assert!(parse(&["--trace-sample"]).is_err());
+        assert!(parse(&["--trace-sample", "0"]).is_err());
+        assert!(parse(&["--trace-sample=none"]).is_err());
     }
 
     #[test]

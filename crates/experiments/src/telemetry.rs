@@ -1,0 +1,333 @@
+//! Traced-cell harness: runs representative figure cells under the
+//! time-resolved telemetry hub and exports Perfetto + JSONL traces.
+//!
+//! The sweep itself always runs untraced (telemetry would multiply the
+//! memory footprint of hundreds of parallel cells for no benefit); when a
+//! binary gets `--telemetry DIR`, it re-runs a small number of
+//! *representative* cells — e.g. Fig. 9's worst victim both isolated and
+//! under an incast aggressor — with the flight recorder on, and writes
+//! each cell's trace next to the sweep results. Sampling is a pure hash
+//! of packet identity and seed, so the traced cell's timing result is
+//! identical to its untraced twin and the trace files are byte-identical
+//! at any `--jobs` level.
+
+use crate::congestion::{machine_for, try_run_cell_traced, Cell, Victim};
+use crate::fig12;
+use crate::fig9::HeatmapOpts;
+use crate::scale::RunConfig;
+use slingshot::telemetry::{jsonl, perfetto, HopKind};
+use slingshot::{Profile, TelemetryConfig, TelemetryReport};
+use slingshot_topology::AllocationPolicy;
+use slingshot_workloads::{Congestor, Microbench};
+use std::path::Path;
+
+/// Default flight-recorder sampling interval (1 in N packets) when
+/// `--telemetry` is given without `--trace-sample`.
+pub const DEFAULT_SAMPLE_EVERY: u32 = 16;
+
+/// The effective telemetry configuration of a parsed harness config:
+/// `None` unless `--telemetry DIR` was given; `--trace-sample N`
+/// overrides the default sampling interval. The sampling seed is filled
+/// in per cell by [`slingshot::SystemBuilder`] from the cell's own seed.
+pub fn config_for(run: &RunConfig) -> Option<TelemetryConfig> {
+    run.telemetry.as_ref()?;
+    Some(TelemetryConfig::sampled(
+        run.trace_sample.unwrap_or(DEFAULT_SAMPLE_EVERY),
+    ))
+}
+
+/// Write `report` as `<dir>/<name>.perfetto.json` (Chrome-trace JSON for
+/// [ui.perfetto.dev](https://ui.perfetto.dev)) and `<dir>/<name>.jsonl`
+/// (line-oriented, grep/dataframe-friendly). Best-effort like
+/// [`crate::report::save_json`]: failures warn, the sweep results are the
+/// primary output.
+pub fn export_report(dir: &str, name: &str, report: &TelemetryReport) {
+    let dir = Path::new(dir);
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    for (ext, text) in [
+        ("perfetto.json", perfetto::to_chrome_trace(report)),
+        ("jsonl", jsonl::to_jsonl(report)),
+    ] {
+        let path = dir.join(format!("{name}.{ext}"));
+        match std::fs::write(&path, text) {
+            Ok(()) => eprintln!(
+                "telemetry written to {} ({} sampled events, 1-in-{} packets)",
+                path.display(),
+                report.events.len(),
+                report.sample_every,
+            ),
+            Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+        }
+    }
+}
+
+/// Mean VOQ wait (picoseconds) over every sampled packet's
+/// enqueue→transmit span, or `None` if no complete span was recorded.
+/// This is the trace-level signal the congestion figures predict: under
+/// an incast aggressor the victim's packets sit visibly longer in the
+/// output queues than in isolation.
+pub fn mean_voq_wait_ps(report: &TelemetryReport) -> Option<f64> {
+    let mut open: std::collections::HashMap<(u64, u32, u32, u32, u32), u64> =
+        std::collections::HashMap::new();
+    let mut sum = 0.0;
+    let mut count = 0u64;
+    for ev in &report.events {
+        match ev.kind {
+            HopKind::VoqEnqueue { sw, port, .. } => {
+                open.insert((ev.msg, ev.chunk, ev.copy, sw, port), ev.at_ps);
+            }
+            HopKind::TxStart { sw, port } => {
+                if let Some(t0) = open.remove(&(ev.msg, ev.chunk, ev.copy, sw, port)) {
+                    sum += (ev.at_ps - t0) as f64;
+                    count += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    (count > 0).then(|| sum / count as f64)
+}
+
+/// Run one cell under the flight recorder and export its trace. Errors
+/// warn instead of failing: the traced cell is an observability add-on,
+/// not part of the figure's result set.
+fn trace_cell(
+    dir: &str,
+    name: &str,
+    cell: &Cell,
+    victim: Victim,
+    iters: u32,
+    budget: u64,
+    tcfg: TelemetryConfig,
+) -> Option<TelemetryReport> {
+    match try_run_cell_traced(cell, victim, iters, budget, Some(tcfg)) {
+        Ok((_, report)) => {
+            let report = report.expect("telemetry was enabled for this cell");
+            export_report(dir, name, &report);
+            Some(report)
+        }
+        Err(e) => {
+            eprintln!("warning: traced cell {name} failed: {e}");
+            None
+        }
+    }
+}
+
+/// Fig. 9 representative traces: the small-message all-to-all victim at
+/// the largest aggressor share, once isolated and once under an incast
+/// aggressor. Comparing the two traces in Perfetto shows the victim's
+/// `voq-wait` spans widening under load — the packet-level mechanism
+/// behind the heatmap's impact numbers. No-op without `--telemetry`.
+pub fn trace_fig9(run: &RunConfig) {
+    let Some(tcfg) = config_for(run) else { return };
+    let dir = run.telemetry.as_deref().expect("config_for checked");
+    let opts = HeatmapOpts::fig9(run.scale);
+    let eps = machine_for(opts.nodes).endpoints_per_switch;
+    let share = *opts.shares.last().expect("fig9 has at least one share");
+    let base = Cell {
+        profile: Profile::Slingshot,
+        nodes: opts.nodes,
+        victim_nodes: (opts.nodes - opts.nodes * share / 100).max(eps + 2),
+        policy: opts.policy,
+        aggressor: None,
+        aggressor_ppn: opts.aggressor_ppn,
+        seed: opts.seed,
+    };
+    let victim = Victim::Micro(Microbench::Alltoall, 128);
+    let label = run.scale.label();
+    trace_cell(
+        dir,
+        &format!("fig9_{label}_isolated"),
+        &base,
+        victim,
+        opts.iters,
+        opts.budget,
+        tcfg,
+    );
+    let loaded = Cell {
+        aggressor: Some(Congestor::Incast),
+        ..base
+    };
+    trace_cell(
+        dir,
+        &format!("fig9_{label}_congested"),
+        &loaded,
+        victim,
+        opts.iters,
+        opts.budget,
+        tcfg,
+    );
+}
+
+/// Fig. 11 representative trace: the paper's worst full-scale cell
+/// (LAMMPS-sized victim under a 75 % incast, random allocation). No-op
+/// without `--telemetry`.
+pub fn trace_fig11(run: &RunConfig) {
+    let Some(tcfg) = config_for(run) else { return };
+    let dir = run.telemetry.as_deref().expect("config_for checked");
+    let nodes = match run.scale {
+        crate::scale::Scale::Tiny => 64,
+        crate::scale::Scale::Quick => 128,
+        crate::scale::Scale::Paper => 1024,
+    };
+    let cell = Cell {
+        profile: Profile::Slingshot,
+        nodes,
+        victim_nodes: nodes - nodes * 75 / 100,
+        policy: AllocationPolicy::Random,
+        aggressor: Some(Congestor::Incast),
+        aggressor_ppn: 1,
+        seed: 11,
+    };
+    let victim = Victim::App(slingshot_workloads::HpcApp::Lammps);
+    trace_cell(
+        dir,
+        &format!("fig11_{}_worst", run.scale.label()),
+        &cell,
+        victim,
+        run.scale.iterations(),
+        run.scale.event_budget(),
+        tcfg,
+    );
+}
+
+/// Fig. 12 representative trace: the worst bursty corner (128 KiB
+/// aggressor messages, longest burst, shortest gap). No-op without
+/// `--telemetry`.
+pub fn trace_fig12(run: &RunConfig) {
+    let Some(tcfg) = config_for(run) else { return };
+    let dir = run.telemetry.as_deref().expect("config_for checked");
+    let name = format!("fig12_{}_bursty", run.scale.label());
+    match fig12::traced_cell(run.scale, tcfg) {
+        Ok(report) => export_report(dir, &name, &report),
+        Err(e) => eprintln!("warning: traced cell {name} failed: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner;
+    use crate::scale::Scale;
+
+    fn tiny_cell(aggressor: Option<Congestor>) -> Cell {
+        Cell {
+            profile: Profile::Slingshot,
+            nodes: 32,
+            victim_nodes: 16,
+            policy: AllocationPolicy::Interleaved,
+            aggressor,
+            aggressor_ppn: 1,
+            seed: 9,
+        }
+    }
+
+    const VICTIM: Victim = Victim::Micro(Microbench::Alltoall, 128);
+    const BUDGET: u64 = 400_000_000;
+
+    #[test]
+    fn telemetry_does_not_perturb_the_measurement() {
+        let plain = try_run_cell_traced(&tiny_cell(None), VICTIM, 3, BUDGET, None)
+            .expect("untraced cell runs");
+        let traced = try_run_cell_traced(
+            &tiny_cell(None),
+            VICTIM,
+            3,
+            BUDGET,
+            Some(TelemetryConfig::sampled(1)),
+        )
+        .expect("traced cell runs");
+        assert!(plain.1.is_none());
+        let report = traced.1.expect("report present");
+        assert!(!report.events.is_empty(), "recorder sampled packets");
+        // Bit-identical timing: the recorder draws no RNG and adds no events.
+        assert_eq!(plain.0.mean_secs.to_bits(), traced.0.mean_secs.to_bits());
+        assert_eq!(plain.0.p99_secs.to_bits(), traced.0.p99_secs.to_bits());
+        assert_eq!(plain.0.iterations, traced.0.iterations);
+    }
+
+    #[test]
+    fn voq_wait_widens_under_incast() {
+        let tcfg = TelemetryConfig::sampled(1);
+        let (_, iso) = try_run_cell_traced(&tiny_cell(None), VICTIM, 3, BUDGET, Some(tcfg))
+            .expect("isolated runs");
+        let (_, loaded) = try_run_cell_traced(
+            &tiny_cell(Some(Congestor::Incast)),
+            VICTIM,
+            3,
+            BUDGET,
+            Some(tcfg),
+        )
+        .expect("congested runs");
+        let iso_wait = mean_voq_wait_ps(&iso.unwrap()).expect("isolated spans");
+        let loaded_wait = mean_voq_wait_ps(&loaded.unwrap()).expect("congested spans");
+        // The heatmap's impact numbers, seen at packet level: queues are
+        // visibly longer under the aggressor.
+        assert!(
+            loaded_wait > 1.5 * iso_wait,
+            "voq wait isolated {iso_wait:.0} ps vs congested {loaded_wait:.0} ps"
+        );
+    }
+
+    #[test]
+    fn traces_are_identical_across_jobs() {
+        let render = || {
+            let (_, report) = try_run_cell_traced(
+                &tiny_cell(Some(Congestor::Incast)),
+                VICTIM,
+                3,
+                BUDGET,
+                Some(TelemetryConfig::sampled(4)),
+            )
+            .expect("cell runs");
+            let report = report.unwrap();
+            (perfetto::to_chrome_trace(&report), jsonl::to_jsonl(&report))
+        };
+        let serial = runner::with_jobs(1, render);
+        let parallel = runner::with_jobs(4, render);
+        assert_eq!(serial.0, parallel.0, "perfetto output jobs-independent");
+        assert_eq!(serial.1, parallel.1, "jsonl output jobs-independent");
+    }
+
+    #[test]
+    fn config_for_respects_flags() {
+        let mut run = RunConfig {
+            scale: Scale::Tiny,
+            jobs: 1,
+            verbose: false,
+            resume: false,
+            telemetry: None,
+            trace_sample: None,
+        };
+        assert!(config_for(&run).is_none());
+        run.telemetry = Some("traces".into());
+        assert_eq!(config_for(&run).unwrap().sample_every, DEFAULT_SAMPLE_EVERY);
+        run.trace_sample = Some(3);
+        assert_eq!(config_for(&run).unwrap().sample_every, 3);
+    }
+
+    #[test]
+    fn export_writes_both_files() {
+        let dir = std::env::temp_dir().join("slingshot-telemetry-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_s = dir.to_str().unwrap().to_string();
+        let run = RunConfig {
+            scale: Scale::Tiny,
+            jobs: 1,
+            verbose: false,
+            resume: false,
+            telemetry: Some(dir_s.clone()),
+            trace_sample: Some(2),
+        };
+        let tcfg = config_for(&run).unwrap();
+        let report = trace_cell(&dir_s, "cell", &tiny_cell(None), VICTIM, 3, BUDGET, tcfg)
+            .expect("traced cell runs");
+        assert!(dir.join("cell.perfetto.json").exists());
+        assert!(dir.join("cell.jsonl").exists());
+        assert_eq!(report.sample_every, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

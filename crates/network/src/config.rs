@@ -65,6 +65,11 @@ pub struct NetworkConfig {
     /// the exact fault-free code path (same events, same RNG draws,
     /// byte-identical results).
     pub faults: Option<slingshot_faults::FaultConfig>,
+    /// Time-resolved telemetry. `None` (the default) carries no telemetry
+    /// state: every instrumentation site is one `Option` check and the
+    /// run is byte-identical to an uninstrumented build. Telemetry never
+    /// consumes RNG draws, so enabling it cannot change results either.
+    pub telemetry: Option<slingshot_telemetry::TelemetryConfig>,
 }
 
 impl NetworkConfig {
@@ -89,6 +94,7 @@ impl NetworkConfig {
             loopback_latency: SimDuration::from_ns(400),
             seed: 0xC0FFEE,
             faults: None,
+            telemetry: None,
         }
     }
 
@@ -114,6 +120,7 @@ impl NetworkConfig {
             loopback_latency: SimDuration::from_ns(600),
             seed: 0xC0FFEE,
             faults: None,
+            telemetry: None,
         }
     }
 

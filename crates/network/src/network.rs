@@ -16,6 +16,7 @@ use slingshot_ethernet::{message_wire_bytes, PortLanes, MAX_PAYLOAD};
 use slingshot_faults::FaultKind;
 use slingshot_qos::QosScheduler;
 use slingshot_routing::{CongestionView, HopDecision, RouteState, Router, Via};
+use slingshot_telemetry::{HopKind, TelemetryHub, TelemetryReport};
 use slingshot_topology::{ChannelId, Dragonfly, Liveness, NodeId, SwitchId};
 use std::collections::VecDeque;
 
@@ -92,6 +93,17 @@ enum TxVerdict {
     Dropped,
 }
 
+/// Live telemetry state; boxed so the disabled path carries one pointer.
+struct NetTelemetry {
+    hub: TelemetryHub,
+    /// Switch index → global index of its first output port (ports are
+    /// numbered switch-major, in port order, across the whole fabric).
+    port_base: Vec<u32>,
+    /// The CC engine's recovery ceiling: a pair whose window sits below
+    /// this is counted as paused.
+    cc_max: u64,
+}
+
 /// Congestion view over the live port state (what the adaptive routing
 /// pipeline reads from the request-queue credit plane).
 struct LoadView<'a> {
@@ -144,6 +156,12 @@ pub struct Network {
     kernel: KernelStats,
     /// Live fault state; `None` unless a non-empty schedule is installed.
     faults: Option<FaultRuntime>,
+    /// Live telemetry state; `None` unless enabled in the configuration.
+    /// Every instrumentation site is gated on this single `Option`, and
+    /// telemetry never draws from the RNG, so the disabled run is
+    /// byte-identical to an uninstrumented build and the enabled run
+    /// produces the same results as the disabled one.
+    telemetry: Option<Box<NetTelemetry>>,
     /// First fatal accounting error detected during dispatch; surfaced by
     /// the next budgeted run call instead of corrupting state silently.
     fatal: Option<SimError>,
@@ -247,6 +265,20 @@ impl Network {
             }
         }
 
+        let telemetry = cfg.telemetry.map(|tcfg| {
+            let mut port_base = Vec::with_capacity(switches.len());
+            let mut total = 0u32;
+            for sw in &switches {
+                port_base.push(total);
+                total += sw.ports.len() as u32;
+            }
+            Box::new(NetTelemetry {
+                hub: TelemetryHub::new(tcfg, total as usize, n_tc, NUM_VCS),
+                port_base,
+                cc_max: CcEngine::from_config(&cfg.cc).max_window(),
+            })
+        });
+
         Network {
             cfg,
             topo,
@@ -264,6 +296,7 @@ impl Network {
             stats: NetStats::default(),
             kernel: KernelStats::default(),
             faults,
+            telemetry,
             fatal: None,
         }
     }
@@ -385,6 +418,23 @@ impl Network {
     /// never enabled).
     pub fn take_latency_sample(&mut self) -> slingshot_stats::Sample {
         self.packet_latency.take().unwrap_or_default()
+    }
+
+    /// Drain the telemetry hub into an exportable report; `None` unless
+    /// telemetry was enabled in the configuration. Telemetry stops being
+    /// collected afterwards.
+    pub fn take_telemetry_report(&mut self) -> Option<TelemetryReport> {
+        let t = self.telemetry.take()?;
+        let mut labels = Vec::new();
+        for (si, sw) in self.switches.iter().enumerate() {
+            for (pi, p) in sw.ports.iter().enumerate() {
+                labels.push(match p.kind {
+                    PortKind::Channel(ch) => format!("sw{si}/p{pi} ch:{}", ch.0),
+                    PortKind::Eject(n) => format!("sw{si}/p{pi} eject:{}", n.0),
+                });
+            }
+        }
+        Some(t.hub.into_report(&labels))
     }
 
     /// Submit a message of `bytes` payload bytes (≥ 1) from `src` to `dst`
@@ -730,6 +780,7 @@ impl Network {
                     chunk,
                     copy: 0,
                     llr: 0,
+                    traced: false,
                 };
                 if let Some(rt) = self.faults.as_mut() {
                     let copy = rt.alloc_copy();
@@ -746,6 +797,19 @@ impl Network {
                             copy,
                         },
                     );
+                }
+                if let Some(t) = self.telemetry.as_deref_mut() {
+                    if t.hub.sampled(msg_id.0, chunk) {
+                        pkt.traced = true;
+                        t.hub.record_event(
+                            now.as_ps(),
+                            msg_id.0,
+                            chunk,
+                            pkt.copy,
+                            tc,
+                            HopKind::NicSerializeStart,
+                        );
+                    }
                 }
                 self.queue.push(now + ser, Event::NicTxDone { node, pkt });
                 return;
@@ -786,6 +850,18 @@ impl Network {
                 copy: pkt.copy,
             },
         );
+        if pkt.traced {
+            if let Some(t) = self.telemetry.as_deref_mut() {
+                t.hub.record_event(
+                    now.as_ps(),
+                    pkt.msg.0,
+                    pkt.chunk,
+                    pkt.copy,
+                    pkt.tc,
+                    HopKind::NicSerializeStart,
+                );
+            }
+        }
         self.queue.push(now + ser, Event::NicTxDone { node, pkt });
     }
 
@@ -794,6 +870,18 @@ impl Network {
         nic.busy = false;
         let prop = nic.prop;
         pkt.path_delay += prop;
+        if pkt.traced {
+            if let Some(t) = self.telemetry.as_deref_mut() {
+                t.hub.record_event(
+                    now.as_ps(),
+                    pkt.msg.0,
+                    pkt.chunk,
+                    pkt.copy,
+                    pkt.tc,
+                    HopKind::NicTxDone,
+                );
+            }
+        }
         let sw = self.topo.switch_of_node(NodeId(node)).0;
         self.queue.push(now + prop, Event::ArriveSwitch { sw, pkt });
         self.try_inject(node, now);
@@ -806,6 +894,18 @@ impl Network {
             if !rt.liveness.is_switch_up(SwitchId(sw)) {
                 self.record_drop(&pkt, DropReason::SwitchDown, now);
                 return;
+            }
+        }
+        if pkt.traced {
+            if let Some(t) = self.telemetry.as_deref_mut() {
+                t.hub.record_event(
+                    now.as_ps(),
+                    pkt.msg.0,
+                    pkt.chunk,
+                    pkt.copy,
+                    pkt.tc,
+                    HopKind::SwitchArrive { sw },
+                );
             }
         }
         // Routing decisions read the live load view; split borrows keep the
@@ -834,6 +934,10 @@ impl Network {
                 self.kernel.adaptive_nonminimal += 1;
             } else {
                 self.kernel.adaptive_minimal += 1;
+            }
+            if let Some(t) = self.telemetry.as_deref_mut() {
+                t.hub
+                    .on_routing_decision(now.as_ps(), !pkt.route.is_nonminimal());
             }
         }
         self.kernel.next_hop_lookups += 1;
@@ -910,6 +1014,22 @@ impl Network {
             pkt.ep_depth = p.queued_wire;
         }
         p.enqueue(pkt);
+        let depth = p.queued_wire;
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            let gport = t.port_base[sw as usize] + port;
+            t.hub.on_port_queue(gport, now.as_ps(), depth);
+            if pkt.traced {
+                let vc = vc_of(pkt.route.hops) as u8;
+                t.hub.record_event(
+                    now.as_ps(),
+                    pkt.msg.0,
+                    pkt.chunk,
+                    pkt.copy,
+                    pkt.tc,
+                    HopKind::VoqEnqueue { sw, port, vc },
+                );
+            }
+        }
         self.try_start_tx(sw, port, now);
     }
 
@@ -919,12 +1039,51 @@ impl Network {
             return;
         }
         let Some((tc, vc)) = p.pick(now) else {
-            return; // waiting for credits
+            // Waiting for credits: count which (class, VC) heads are
+            // starved before giving the port up.
+            if self.telemetry.is_some() {
+                self.telemetry_credit_stall(sw, port, now);
+            }
+            return;
         };
         let pkt = p.take(tc, vc, now);
         p.busy = true;
         let ser = p.serialization(pkt.wire);
+        let depth = p.queued_wire;
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            let gport = t.port_base[sw as usize] + port;
+            t.hub
+                .on_port_tx(gport, pkt.tc, now.as_ps(), pkt.wire as u64);
+            t.hub.on_port_queue(gport, now.as_ps(), depth);
+            if pkt.traced {
+                t.hub.record_event(
+                    now.as_ps(),
+                    pkt.msg.0,
+                    pkt.chunk,
+                    pkt.copy,
+                    pkt.tc,
+                    HopKind::TxStart { sw, port },
+                );
+            }
+        }
         self.queue.push(now + ser, Event::TxDone { sw, port, pkt });
+    }
+
+    /// A port with backlog found no transmittable VOQ: record a stall
+    /// observation for every head blocked on downstream credits. Only
+    /// reached with telemetry enabled.
+    fn telemetry_credit_stall(&mut self, sw: u32, port: u32, now: SimTime) {
+        let Some(t) = self.telemetry.as_deref_mut() else {
+            return;
+        };
+        let p = &self.switches[sw as usize].ports[port as usize];
+        for tc in 0..self.n_tc {
+            for vc in 0..NUM_VCS {
+                if p.head_blocked(tc, vc) {
+                    t.hub.on_credit_stall(tc as u8, vc as u8, now.as_ps());
+                }
+            }
+        }
     }
 
     fn tx_done(&mut self, sw: u32, port: u32, mut pkt: Packet, now: SimTime) {
@@ -939,6 +1098,18 @@ impl Network {
             }
         }
         self.switches[sw as usize].ports[port as usize].busy = false;
+        if pkt.traced {
+            if let Some(t) = self.telemetry.as_deref_mut() {
+                t.hub.record_event(
+                    now.as_ps(),
+                    pkt.msg.0,
+                    pkt.chunk,
+                    pkt.copy,
+                    pkt.tc,
+                    HopKind::TxDone { sw, port },
+                );
+            }
+        }
         // Return the input-buffer credit for the source this packet arrived
         // from (it has now left this switch).
         // The upstream sender consumed its credit at the packet's VC as of
@@ -1027,6 +1198,19 @@ impl Network {
             rt.stats.llr_replays += 1;
             self.kernel.llr_replays += 1;
             let replay = SimDuration::from_ns_f64(rt.recovery.reliability.llr_replay_ns);
+            if let Some(t) = self.telemetry.as_deref_mut() {
+                t.hub.on_llr_replay(now.as_ps());
+                if pkt.traced {
+                    t.hub.record_event(
+                        now.as_ps(),
+                        pkt.msg.0,
+                        pkt.chunk,
+                        pkt.copy,
+                        pkt.tc,
+                        HopKind::LlrReplay { sw, port },
+                    );
+                }
+            }
             self.queue.push(
                 now + replay,
                 Event::TxDone {
@@ -1091,6 +1275,21 @@ impl Network {
     /// reclaimed later by the copy's end-to-end timer.
     fn record_drop(&mut self, pkt: &Packet, reason: DropReason, now: SimTime) {
         self.kernel.packets_dropped += 1;
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.hub.on_drop(now.as_ps());
+            if pkt.traced {
+                t.hub.record_event(
+                    now.as_ps(),
+                    pkt.msg.0,
+                    pkt.chunk,
+                    pkt.copy,
+                    pkt.tc,
+                    HopKind::Dropped {
+                        reason: reason as u8,
+                    },
+                );
+            }
+        }
         let rt = self.faults.as_mut().expect("drop outside fault mode");
         match reason {
             DropReason::LinkDown => rt.stats.dropped_link_down += 1,
@@ -1251,7 +1450,7 @@ impl Network {
         rt.stats.e2e_retransmits += 1;
         self.kernel.e2e_retransmits += 1;
         self.nics[src.index()].sub_in_flight(dst, wire);
-        let pkt = Packet {
+        let mut pkt = Packet {
             msg,
             src,
             dst,
@@ -1267,7 +1466,25 @@ impl Network {
             chunk,
             copy: new_copy,
             llr: 0,
+            traced: false,
         };
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.hub.on_e2e_retransmit(now.as_ps());
+            // The retransmit copy inherits the chunk's sampling decision
+            // (the hash ignores the copy id), so a traced flight stays
+            // traced across end-to-end recovery.
+            if t.hub.sampled(msg.0, chunk) {
+                pkt.traced = true;
+                t.hub.record_event(
+                    now.as_ps(),
+                    msg.0,
+                    chunk,
+                    new_copy,
+                    tc,
+                    HopKind::E2eRetransmit,
+                );
+            }
+        }
         self.nics[src.index()].retx.push_back(pkt);
         self.try_inject(src.0, now);
     }
@@ -1294,6 +1511,18 @@ impl Network {
     }
 
     fn arrive_nic(&mut self, pkt: Packet, now: SimTime) {
+        if pkt.traced {
+            if let Some(t) = self.telemetry.as_deref_mut() {
+                t.hub.record_event(
+                    now.as_ps(),
+                    pkt.msg.0,
+                    pkt.chunk,
+                    pkt.copy,
+                    pkt.tc,
+                    HopKind::NicArrive,
+                );
+            }
+        }
         if self.faults.is_some() {
             let st = &mut self.messages[pkt.msg.0 as usize];
             let word = (pkt.chunk / 64) as usize;
@@ -1380,6 +1609,11 @@ impl Network {
                 return;
             }
         }
+        let window_before = if self.telemetry.is_some() {
+            self.nics[src as usize].cc.window(dst)
+        } else {
+            0
+        };
         let nic = &mut self.nics[src as usize];
         nic.sub_in_flight(NodeId(dst), wire);
         nic.cc.on_ack(
@@ -1390,6 +1624,22 @@ impl Network {
             },
             now,
         );
+        if self.telemetry.is_some() {
+            let window_after = nic.cc.window(dst);
+            let t = self.telemetry.as_deref_mut().expect("checked above");
+            t.hub.on_cc_ack(
+                now.as_ps(),
+                window_after,
+                congested,
+                window_before >= t.cc_max && window_after < t.cc_max,
+                window_before < t.cc_max && window_after >= t.cc_max,
+            );
+            if t.hub.sampled(msg.0, chunk) {
+                let tc = self.messages[msg.0 as usize].tc;
+                t.hub
+                    .record_event(now.as_ps(), msg.0, chunk, copy, tc, HopKind::AckArrive);
+            }
+        }
         let st = &mut self.messages[msg.0 as usize];
         debug_assert!(st.unacked_wire >= wire as u64);
         st.unacked_wire -= wire as u64;

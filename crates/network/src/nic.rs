@@ -62,6 +62,14 @@ impl CongestionControl for CcEngine {
             CcEngine::Ecn(c) => c.throttle_events(),
         }
     }
+
+    fn max_window(&self) -> u64 {
+        match self {
+            CcEngine::Slingshot(c) => c.max_window(),
+            CcEngine::None(c) => c.max_window(),
+            CcEngine::Ecn(c) => c.max_window(),
+        }
+    }
 }
 
 /// Per-node NIC state.

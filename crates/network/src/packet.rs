@@ -56,6 +56,10 @@ pub struct Packet {
     pub copy: u32,
     /// LLR replay attempts consumed at the link currently serializing it.
     pub llr: u8,
+    /// Whether the telemetry flight recorder sampled this packet (always
+    /// `false` when telemetry is disabled; set once at injection from a
+    /// pure hash of the packet identity).
+    pub traced: bool,
 }
 
 /// A notification surfaced to the software layer.

@@ -134,6 +134,17 @@ impl OutPort {
             .unwrap_or(false)
     }
 
+    /// Whether `(tc, vc)` has a queued head that is *blocked* on downstream
+    /// credits (telemetry's credit-stall signal: a packet wants the link
+    /// but the DAMQ admission rule holds it back).
+    #[inline]
+    pub fn head_blocked(&self, tc: usize, vc: usize) -> bool {
+        self.queues[tc * NUM_VCS + vc]
+            .front()
+            .map(|p| !self.admissible(tc, vc, p.wire as u64))
+            .unwrap_or(false)
+    }
+
     /// Pick the (class, VC) to serve next, honouring credits and QoS.
     /// Within a class, the *oldest* credit-eligible head wins (age-based
     /// arbitration): VCs exist for deadlock avoidance, not bandwidth
@@ -246,6 +257,7 @@ mod tests {
             chunk: 0,
             copy: 0,
             llr: 0,
+            traced: false,
         }
     }
 
@@ -393,6 +405,16 @@ mod tests {
         assert_eq!(p.pick(SimTime::ZERO), Some((0, 3)));
         let _ = p.take(0, 3, SimTime::ZERO);
         assert_eq!(p.downstream_held(), 0);
+    }
+
+    #[test]
+    fn head_blocked_tracks_credit_starvation() {
+        let mut p = port(1, NUM_VCS as u64 * VC_RESERVE);
+        p.enqueue(test_packet(4158, 0, 2));
+        assert!(!p.head_blocked(0, 2));
+        p.outstanding[2] = VC_RESERVE; // reserve gone, shared region is zero
+        assert!(p.head_blocked(0, 2));
+        assert!(!p.head_blocked(0, 0), "empty queue is not blocked");
     }
 
     #[test]

@@ -85,6 +85,36 @@ impl Histogram {
             .collect()
     }
 
+    /// Approximate `q`-quantile (`q` clamped to `[0, 1]`) by linear
+    /// interpolation within the bin holding the target rank.
+    ///
+    /// Mass in the underflow bin resolves to `lo` and mass in the overflow
+    /// bin to `hi` — the histogram does not retain the actual out-of-range
+    /// values, so the edges are the tightest bounds it can report.
+    /// Returns `None` when nothing has been recorded.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.count as f64;
+        let mut acc = self.underflow as f64;
+        if target <= acc && self.underflow > 0 {
+            return Some(self.lo);
+        }
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            let next = acc + c as f64;
+            if c > 0 && target <= next {
+                let frac = (target - acc) / c as f64;
+                return Some(self.lo + width * (i as f64 + frac));
+            }
+            acc = next;
+        }
+        // Remaining mass is overflow (or q == 1 landed past the last bin).
+        Some(self.hi)
+    }
+
     /// Fraction of in-range mass lying within `[a, b)`.
     pub fn mass_between(&self, a: f64, b: f64) -> f64 {
         let total = self.count.max(1) as f64;
@@ -140,6 +170,51 @@ mod tests {
         assert_eq!(d.len(), 4);
         assert!((d[0].1 - 0.5).abs() < 1e-12);
         assert!((d[3].1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_of_empty_is_none() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantile_interpolates_uniform_mass() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..100 {
+            h.record(i as f64 + 0.5);
+        }
+        let med = h.quantile(0.5).unwrap();
+        assert!((med - 50.0).abs() <= 1.0, "median {med}");
+        let p90 = h.quantile(0.9).unwrap();
+        assert!((p90 - 90.0).abs() <= 1.0, "p90 {p90}");
+    }
+
+    #[test]
+    fn quantile_edges_clamp_to_range() {
+        let mut h = Histogram::new(10.0, 20.0, 10);
+        h.record(12.0);
+        h.record(18.0);
+        // q outside [0,1] clamps rather than panicking.
+        assert!(h.quantile(-1.0).unwrap() >= 10.0);
+        assert!(h.quantile(2.0).unwrap() <= 20.0);
+        // q=0 lands at the start of the first occupied bin, q=1 at the end
+        // of the last occupied bin.
+        assert!((h.quantile(0.0).unwrap() - 12.0).abs() <= 1.0);
+        assert!((h.quantile(1.0).unwrap() - 19.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn quantile_resolves_out_of_range_mass_to_edges() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        for _ in 0..10 {
+            h.record(-5.0); // underflow
+        }
+        for _ in 0..10 {
+            h.record(7.0); // overflow
+        }
+        assert_eq!(h.quantile(0.1), Some(0.0));
+        assert_eq!(h.quantile(0.9), Some(1.0));
     }
 
     #[test]

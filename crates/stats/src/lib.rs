@@ -18,4 +18,4 @@ pub use histogram::Histogram;
 pub use online::OnlineStats;
 pub use sample::{BoxSummary, Sample};
 pub use stopping::{median_confidence_interval, z_for_confidence, StoppingRule};
-pub use timeseries::RateSeries;
+pub use timeseries::{GaugePoint, GaugeSeries, RateSeries};

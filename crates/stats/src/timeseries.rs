@@ -70,6 +70,89 @@ impl RateSeries {
     }
 }
 
+/// Summary of the gauge samples that landed in one time bucket.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct GaugePoint {
+    /// Smallest sampled value in the bucket.
+    pub min: f64,
+    /// Largest sampled value in the bucket.
+    pub max: f64,
+    /// Chronologically last sampled value in the bucket.
+    pub last: f64,
+}
+
+/// Companion to [`RateSeries`] for *level* quantities (queue occupancy, CC
+/// window size, paused-pair counts): instead of summing amounts per bucket it
+/// keeps the min/max/last sample, which is what a timeline viewer needs to
+/// draw an envelope. Buckets with no samples are `None`.
+#[derive(Clone, Debug, Serialize)]
+pub struct GaugeSeries {
+    bucket_width: u64,
+    buckets: Vec<Option<GaugePoint>>,
+}
+
+impl GaugeSeries {
+    /// New series with the given bucket width (same unit as timestamps).
+    pub fn new(bucket_width: u64) -> Self {
+        assert!(bucket_width > 0);
+        GaugeSeries {
+            bucket_width,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Record that the gauge read `value` at `timestamp`.
+    pub fn record(&mut self, timestamp: u64, value: f64) {
+        let idx = (timestamp / self.bucket_width) as usize;
+        if idx >= self.buckets.len() {
+            self.buckets.resize(idx + 1, None);
+        }
+        match &mut self.buckets[idx] {
+            Some(p) => {
+                p.min = p.min.min(value);
+                p.max = p.max.max(value);
+                p.last = value;
+            }
+            slot @ None => {
+                *slot = Some(GaugePoint {
+                    min: value,
+                    max: value,
+                    last: value,
+                });
+            }
+        }
+    }
+
+    /// Bucket width.
+    pub fn bucket_width(&self) -> u64 {
+        self.bucket_width
+    }
+
+    /// Per-bucket summaries (`None` where no sample landed).
+    pub fn points(&self) -> &[Option<GaugePoint>] {
+        &self.buckets
+    }
+
+    /// Rows of `(bucket_start_time, summary)` for buckets that saw samples.
+    pub fn rows(&self) -> Vec<(u64, GaugePoint)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.map(|p| (i as u64 * self.bucket_width, p)))
+            .collect()
+    }
+
+    /// Number of buckets (span of the series).
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,5 +183,82 @@ mod tests {
         s.record(5, 1.0);
         assert_eq!(s.len(), 6);
         assert_eq!(s.totals()[..5], [0.0; 5]);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_half_open() {
+        // A sample at exactly `k * width` belongs to bucket k, not k-1.
+        let mut s = RateSeries::new(100);
+        s.record(99, 1.0);
+        s.record(100, 2.0);
+        s.record(199, 4.0);
+        s.record(200, 8.0);
+        assert_eq!(s.totals(), &[1.0, 6.0, 8.0]);
+        let mut g = GaugeSeries::new(100);
+        g.record(99, 1.0);
+        g.record(100, 2.0);
+        let rows = g.rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, 0);
+        assert_eq!(rows[1].0, 100);
+    }
+
+    #[test]
+    fn serialization_round_trips_through_json() {
+        let mut s = RateSeries::new(10);
+        s.record(0, 5.0);
+        s.record(25, 2.5);
+        let text = serde_json::to_string(&s).unwrap();
+        let parsed = serde_json::from_str(&text).unwrap();
+        use serde::{Serialize, Value};
+        assert_eq!(parsed, s.serialize());
+        // And the tree has the expected shape.
+        let Value::Object(fields) = parsed else {
+            panic!("expected object")
+        };
+        assert_eq!(fields[0].0, "bucket_width");
+        assert_eq!(fields[0].1, Value::UInt(10));
+        assert_eq!(
+            fields[1].1,
+            Value::Array(vec![
+                Value::Float(5.0),
+                Value::Float(0.0),
+                Value::Float(2.5)
+            ])
+        );
+    }
+
+    #[test]
+    fn gauge_tracks_min_max_last_per_bucket() {
+        let mut g = GaugeSeries::new(10);
+        g.record(3, 5.0);
+        g.record(7, 1.0);
+        g.record(9, 3.0);
+        g.record(25, 8.0);
+        assert_eq!(g.len(), 3);
+        let p0 = g.points()[0].unwrap();
+        assert_eq!((p0.min, p0.max, p0.last), (1.0, 5.0, 3.0));
+        assert!(g.points()[1].is_none());
+        let rows = g.rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].0, 20);
+        assert_eq!(rows[1].1.last, 8.0);
+    }
+
+    #[test]
+    fn gauge_empty_buckets_serialize_as_null() {
+        let mut g = GaugeSeries::new(10);
+        g.record(15, 2.0);
+        let text = serde_json::to_string(&g).unwrap();
+        let parsed = serde_json::from_str(&text).unwrap();
+        use serde::Value;
+        let Value::Object(fields) = parsed else {
+            panic!("expected object")
+        };
+        let Value::Array(buckets) = &fields[1].1 else {
+            panic!("expected bucket array")
+        };
+        assert_eq!(buckets[0], Value::Null);
+        assert!(matches!(buckets[1], Value::Object(_)));
     }
 }

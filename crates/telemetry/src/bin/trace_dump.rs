@@ -1,0 +1,169 @@
+//! Inspect and validate telemetry trace files.
+//!
+//! ```text
+//! trace_dump <file>            summarize a .perfetto.json or .jsonl trace
+//! trace_dump --check <file>    validate; exit non-zero unless the file
+//!                              parses and contains at least one packet
+//!                              track (used as the CI smoke gate)
+//! ```
+
+use std::process::exit;
+
+use serde::Value;
+
+fn field<'a>(obj: &'a Value, key: &str) -> Option<&'a Value> {
+    match obj {
+        Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+        _ => None,
+    }
+}
+
+fn as_str(v: &Value) -> Option<&str> {
+    match v {
+        Value::Str(s) => Some(s),
+        _ => None,
+    }
+}
+
+struct Summary {
+    packets: usize,
+    spans: usize,
+    instants: usize,
+    counter_tracks: usize,
+    counter_samples: usize,
+}
+
+fn summarize_chrome(root: &Value) -> Result<Summary, String> {
+    let events = field(root, "traceEvents").ok_or("missing traceEvents")?;
+    let Value::Array(events) = events else {
+        return Err("traceEvents is not an array".into());
+    };
+    let mut packet_ids: Vec<&str> = Vec::new();
+    let mut counter_names: Vec<&str> = Vec::new();
+    let mut spans = 0usize;
+    let mut instants = 0usize;
+    let mut counter_samples = 0usize;
+    for ev in events {
+        let ph = field(ev, "ph").and_then(as_str).unwrap_or("");
+        match ph {
+            "b" => {
+                spans += 1;
+                if let Some(id) = field(ev, "id").and_then(as_str) {
+                    if !packet_ids.contains(&id) {
+                        packet_ids.push(id);
+                    }
+                }
+            }
+            "n" => {
+                instants += 1;
+                if let Some(id) = field(ev, "id").and_then(as_str) {
+                    if !packet_ids.contains(&id) {
+                        packet_ids.push(id);
+                    }
+                }
+            }
+            "C" => {
+                counter_samples += 1;
+                if let Some(name) = field(ev, "name").and_then(as_str) {
+                    if !counter_names.contains(&name) {
+                        counter_names.push(name);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(Summary {
+        packets: packet_ids.len(),
+        spans,
+        instants,
+        counter_tracks: counter_names.len(),
+        counter_samples,
+    })
+}
+
+fn summarize_jsonl(text: &str) -> Result<Summary, String> {
+    let mut packets: Vec<(u64, u64, u64)> = Vec::new();
+    let mut series: Vec<String> = Vec::new();
+    let mut events = 0usize;
+    let mut samples = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = serde_json::from_str(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        match field(&v, "type").and_then(as_str) {
+            Some("event") => {
+                events += 1;
+                let num = |k: &str| match field(&v, k) {
+                    Some(Value::UInt(n)) => *n,
+                    _ => 0,
+                };
+                let key = (num("msg"), num("chunk"), num("copy"));
+                if !packets.contains(&key) {
+                    packets.push(key);
+                }
+            }
+            Some("series") => {
+                samples += 1;
+                if let Some(name) = field(&v, "name").and_then(as_str) {
+                    if !series.iter().any(|s| s == name) {
+                        series.push(name.to_string());
+                    }
+                }
+            }
+            Some("meta") => {}
+            other => return Err(format!("line {}: unknown type {other:?}", i + 1)),
+        }
+    }
+    Ok(Summary {
+        packets: packets.len(),
+        spans: 0,
+        instants: events,
+        counter_tracks: series.len(),
+        counter_samples: samples,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (check, path) = match args.as_slice() {
+        [p] => (false, p.clone()),
+        [flag, p] if flag == "--check" => (true, p.clone()),
+        [p, flag] if flag == "--check" => (true, p.clone()),
+        _ => {
+            eprintln!("usage: trace_dump [--check] <trace.perfetto.json | trace.jsonl>");
+            exit(2);
+        }
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace_dump: cannot read {path}: {e}");
+            exit(1);
+        }
+    };
+    // Chrome traces are a single JSON object; JSONL files are one object
+    // per line. Distinguish by trying the whole-file parse first.
+    let summary = match serde_json::from_str(&text) {
+        Ok(root) => summarize_chrome(&root),
+        Err(_) => summarize_jsonl(&text),
+    };
+    match summary {
+        Ok(s) => {
+            println!(
+                "{path}: {} packet track(s), {} span(s), {} instant/event marker(s), \
+                 {} counter track(s) ({} samples)",
+                s.packets, s.spans, s.instants, s.counter_tracks, s.counter_samples
+            );
+            if check && s.packets == 0 {
+                eprintln!("trace_dump: check failed: no packet tracks in {path}");
+                exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("trace_dump: {path}: {e}");
+            exit(1);
+        }
+    }
+}
